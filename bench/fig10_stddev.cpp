@@ -1,0 +1,23 @@
+// Reproduces Fig. 10: relative standard deviation of execution times for
+// every system-query-SDK combination (parallelism factors averaged).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dsps;
+  const auto config = bench::config_from_env();
+  std::printf("=== Relative Standard Deviation (reproduction of Fig. 10) "
+              "===\n");
+  bench::print_scale(config);
+
+  harness::BenchmarkHarness harness(config);
+  const auto set = bench::run_setups(harness, harness::full_matrix());
+  const auto figure = harness::stddev_figure(set);
+  std::printf("%s\n", harness::render_figure(figure).c_str());
+  std::printf(
+      "%s\n",
+      harness::render_comparison(
+          figure, harness::paper::relative_stddevs(),
+          "Fig. 10 (dispersion depends on the host; compare magnitudes)")
+          .c_str());
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces Fig. 11, the paper's headline result: the slowdown factor
+//   sf(dsps, query) = (1/Np) * sum_p  mean_beam(p) / mean_native(p)
+// for every engine and query. The paper's claims to check:
+//   * Beam is slower in almost all scenarios (sf > 1, mostly sf > 3);
+//   * on Apex the penalty grows with output volume
+//     (identity/projection >> sample >> grep ~ native);
+//   * on Flink/Spark the pattern inverts: the shortest query (grep) has the
+//     highest penalty;
+//   * the worst case is roughly an order of magnitude beyond the rest.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dsps;
+  const auto config = bench::config_from_env();
+  std::printf("=== Slowdown Factor sf(dsps, query) (reproduction of Fig. 11) "
+              "===\n");
+  bench::print_scale(config);
+
+  harness::BenchmarkHarness harness(config);
+  const auto set = bench::run_setups(harness, harness::full_matrix());
+  const auto figure = harness::slowdown_figure(set);
+  std::printf("%s\n", harness::render_figure(figure).c_str());
+  std::printf("%s\n", harness::render_comparison(
+                          figure, harness::paper::slowdown_factors(),
+                          "Fig. 11 (slowdown factors)")
+                          .c_str());
+
+  // Shape checks the paper's conclusions rest on.
+  const auto sf = [&](queries::Engine engine, workload::QueryId query) {
+    return harness::slowdown_factor(set, engine, query);
+  };
+  using workload::QueryId;
+  std::printf("shape checks:\n");
+  std::printf("  [%s] Apex penalty is output-proportional "
+              "(identity > sample > grep)\n",
+              sf(queries::Engine::kApex, QueryId::kIdentity) >
+                      sf(queries::Engine::kApex, QueryId::kSample) &&
+                      sf(queries::Engine::kApex, QueryId::kSample) >
+                          sf(queries::Engine::kApex, QueryId::kGrep)
+                  ? "ok"
+                  : "MISMATCH");
+  std::printf("  [%s] Flink pattern inverts (grep penalty > identity "
+              "penalty)\n",
+              sf(queries::Engine::kFlink, QueryId::kGrep) >
+                      sf(queries::Engine::kFlink, QueryId::kIdentity)
+                  ? "ok"
+                  : "MISMATCH");
+  std::printf("  [%s] Apex worst case dominates every Flink/Spark factor\n",
+              sf(queries::Engine::kApex, QueryId::kIdentity) >
+                      sf(queries::Engine::kFlink, QueryId::kGrep) &&
+                      sf(queries::Engine::kApex, QueryId::kIdentity) >
+                          sf(queries::Engine::kSpark, QueryId::kGrep)
+                  ? "ok"
+                  : "MISMATCH");
+  std::printf("  [%s] Beam slower than native for every engine on "
+              "identity/sample/projection\n",
+              [&] {
+                for (const auto engine :
+                     {queries::Engine::kFlink, queries::Engine::kSpark,
+                      queries::Engine::kApex}) {
+                  for (const auto query : {QueryId::kIdentity,
+                                           QueryId::kSample,
+                                           QueryId::kProjection}) {
+                    if (sf(engine, query) <= 1.0) return false;
+                  }
+                }
+                return true;
+              }()
+                  ? "ok"
+                  : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces Fig. 12 and Fig. 13: the Flink execution plans for the Grep
+// query at parallelism 1, implemented natively (3 chained elements) and via
+// Beam (7 unfused elements, no dedicated sink). Also prints the Apex
+// physical plans — the native THREAD_LOCAL single container versus the Beam
+// runner's container-per-operator deployment — which underpin §III-C3.
+#include <cstdio>
+
+#include "queries/query_factory.hpp"
+#include "workload/data_sender.hpp"
+
+int main() {
+  using namespace dsps;
+  kafka::Broker broker;
+  workload::create_benchmark_topic(broker, "input").expect_ok();
+  workload::create_benchmark_topic(broker, "output").expect_ok();
+  queries::QueryContext ctx{&broker, "input", "output", /*parallelism=*/1,
+                            /*seed=*/42};
+
+  const struct {
+    queries::Engine engine;
+    queries::Sdk sdk;
+    const char* caption;
+  } cases[] = {
+      {queries::Engine::kFlink, queries::Sdk::kNative,
+       "Fig. 12 — Flink execution plan, Grep, native API"},
+      {queries::Engine::kFlink, queries::Sdk::kBeam,
+       "Fig. 13 — Flink execution plan, Grep, via Apache Beam"},
+      {queries::Engine::kApex, queries::Sdk::kNative,
+       "(extension) Apex physical plan, Grep, native API"},
+      {queries::Engine::kApex, queries::Sdk::kBeam,
+       "(extension) Apex physical plan, Grep, via Apache Beam"},
+  };
+  for (const auto& plan_case : cases) {
+    auto plan = queries::execution_plan(plan_case.engine, plan_case.sdk,
+                                        workload::QueryId::kGrep, ctx);
+    plan.status().expect_ok();
+    std::printf("=== %s ===\n%s\n", plan_case.caption, plan.value().c_str());
+  }
+  std::printf(
+      "observations matching §III-C3:\n"
+      "  * the native Flink plan has 3 elements fused into one chain;\n"
+      "  * the Beam plan has 7 elements (UnknownRawPTransform source, a\n"
+      "    Flat Map, five RawParDos) and no dedicated data sink;\n"
+      "  * the native Apex plan places the pipeline THREAD_LOCAL in one\n"
+      "    container; the Beam Apex plan deploys one container per\n"
+      "    operator with serialized NODE_LOCAL hops.\n");
+  return 0;
+}

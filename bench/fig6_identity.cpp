@@ -1,0 +1,8 @@
+// Reproduces Fig. 6: average execution times of the Identity query across
+// the 12 system/SDK/parallelism setups.
+#include "bench_util.hpp"
+
+int main() {
+  return dsps::bench::run_execution_time_figure(
+      dsps::workload::QueryId::kIdentity, "Fig. 6");
+}

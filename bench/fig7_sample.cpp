@@ -1,0 +1,7 @@
+// Reproduces Fig. 7: average execution times of the Sample query.
+#include "bench_util.hpp"
+
+int main() {
+  return dsps::bench::run_execution_time_figure(
+      dsps::workload::QueryId::kSample, "Fig. 7");
+}

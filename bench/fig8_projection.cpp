@@ -1,0 +1,7 @@
+// Reproduces Fig. 8: average execution times of the Projection query.
+#include "bench_util.hpp"
+
+int main() {
+  return dsps::bench::run_execution_time_figure(
+      dsps::workload::QueryId::kProjection, "Fig. 8");
+}

@@ -1,0 +1,7 @@
+// Reproduces Fig. 9: average execution times of the Grep query.
+#include "bench_util.hpp"
+
+int main() {
+  return dsps::bench::run_execution_time_figure(
+      dsps::workload::QueryId::kGrep, "Fig. 9");
+}

@@ -1,0 +1,157 @@
+// Engine primitives: per-engine pipeline throughput and the knobs that
+// shape it (Apex stream locality, Spark micro-batch assembly, Flink
+// parallelism) — the per-engine baselines behind Figs. 6-9.
+#include <benchmark/benchmark.h>
+
+#include "apex/engine.hpp"
+#include "apex/operators_library.hpp"
+#include "flink/environment.hpp"
+#include "spark/streaming_context.hpp"
+#include "yarn/resource_manager.hpp"
+
+namespace {
+
+using namespace dsps;
+
+// --- Flink-sim -----------------------------------------------------------------
+
+void BM_FlinkThroughputByParallelism(benchmark::State& state) {
+  const int parallelism = static_cast<int>(state.range(0));
+  const int records = 50000;
+  class IntSource final : public flink::SourceFunction {
+   public:
+    explicit IntSource(int n) : n_(n) {}
+    void open(const flink::RuntimeContext& context) override {
+      start_ = context.subtask_index;
+      stride_ = context.parallelism;
+    }
+    void run(flink::SourceContext& context) override {
+      for (int i = start_; i < n_; i += stride_) {
+        context.collect(flink::make_elem<int>(i));
+      }
+    }
+
+   private:
+    int n_;
+    int start_ = 0;
+    int stride_ = 1;
+  };
+  for (auto _ : state) {
+    flink::StreamExecutionEnvironment env;
+    env.set_parallelism(parallelism);
+    env.add_source<int>(
+           [records] { return std::make_unique<IntSource>(records); })
+        .map<int>([](const int& v) { return v * 2; })
+        .for_each([](const int&) {});
+    env.execute().status().expect_ok();
+  }
+  state.SetItemsProcessed(state.iterations() * records);
+}
+BENCHMARK(BM_FlinkThroughputByParallelism)->Arg(1)->Arg(2)->Arg(4);
+
+// --- Spark-sim -----------------------------------------------------------------
+
+void BM_SparkBoundedRun(benchmark::State& state) {
+  const int records = 20000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    kafka::Broker broker;
+    broker.create_topic("in", kafka::TopicConfig{.partitions = 1})
+        .expect_ok();
+    {
+      kafka::Producer producer(
+          broker, kafka::ProducerConfig{.batch_size = 1000, .linger_us = 0});
+      for (int i = 0; i < records; ++i) {
+        producer.send("in", 0, kafka::ProducerRecord{.value = "x"})
+            .expect_ok();
+      }
+      producer.close().expect_ok();
+    }
+    state.ResumeTiming();
+
+    spark::StreamingContext ssc(
+        spark::SparkConf{.default_parallelism =
+                             static_cast<int>(state.range(0))},
+        /*batch_interval_ms=*/5);
+    auto lines = ssc.kafka_direct_stream(broker, "in");
+    std::atomic<std::size_t> seen{0};
+    lines.foreach_rdd([&seen](spark::SparkContext& sc,
+                              const spark::RDDPtr<std::string>& rdd) {
+      seen.fetch_add(sc.count(rdd));
+    });
+    ssc.run_bounded().expect_ok();
+    benchmark::DoNotOptimize(seen.load());
+  }
+  state.SetItemsProcessed(state.iterations() * records);
+}
+BENCHMARK(BM_SparkBoundedRun)->Arg(1)->Arg(2);
+
+// --- Apex-sim: stream locality ----------------------------------------------------
+
+void apex_locality_run(apex::Locality locality, int records) {
+  yarn::ResourceManager rm;
+  rm.add_node("n0", yarn::Resource{64, 65536});
+  rm.add_node("n1", yarn::Resource{64, 65536});
+
+  class IntInput final : public apex::InputOperator {
+   public:
+    explicit IntInput(int n) : n_(n), out_(register_output()) {}
+    bool emit_tuples(std::size_t budget) override {
+      for (std::size_t b = 0; b < budget && next_ < n_; ++b) {
+        emit(out_, apex::make_tuple_of<std::string>(std::to_string(next_++)));
+      }
+      return next_ < n_;
+    }
+
+   private:
+    int n_;
+    int next_ = 0;
+    int out_;
+  };
+  class NullSink final : public apex::Operator {
+   public:
+    NullSink() : in_(register_input([](const apex::Tuple&) {})) {}
+
+   private:
+    int in_;
+  };
+
+  apex::Dag dag;
+  const int in = dag.add_input_operator(
+      "in", [records] { return std::make_unique<IntInput>(records); });
+  const int out =
+      dag.add_operator("out", [] { return std::make_unique<NullSink>(); });
+  dag.add_stream("s", apex::PortRef{in, 0}, apex::PortRef{out, 0}, locality,
+                 locality == apex::Locality::kNodeLocal
+                     ? apex::string_codec()
+                     : apex::CodecFactory{});
+  apex::launch_application(rm, dag, apex::EngineConfig{}).status().expect_ok();
+}
+
+void BM_ApexLocality_ThreadLocal(benchmark::State& state) {
+  for (auto _ : state) {
+    apex_locality_run(apex::Locality::kThreadLocal, 20000);
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_ApexLocality_ThreadLocal);
+
+void BM_ApexLocality_ContainerLocal(benchmark::State& state) {
+  for (auto _ : state) {
+    apex_locality_run(apex::Locality::kContainerLocal, 20000);
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_ApexLocality_ContainerLocal);
+
+void BM_ApexLocality_NodeLocalSerialized(benchmark::State& state) {
+  for (auto _ : state) {
+    apex_locality_run(apex::Locality::kNodeLocal, 20000);
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_ApexLocality_NodeLocalSerialized);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// MiniKafka primitives: append/fetch throughput, batch effects, consumer
+// polling — establishes the broker baseline the engine numbers sit on.
+#include <benchmark/benchmark.h>
+
+#include "kafka/broker.hpp"
+#include "kafka/consumer.hpp"
+#include "kafka/producer.hpp"
+
+namespace {
+
+using namespace dsps;
+
+void BM_AppendSingle(benchmark::State& state) {
+  kafka::Broker broker;
+  broker.create_topic("t", kafka::TopicConfig{.partitions = 1}).expect_ok();
+  const kafka::ProducerRecord record{.value = std::string(64, 'x')};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(broker.append({"t", 0}, record, false));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AppendSingle);
+
+void BM_AppendBatch(benchmark::State& state) {
+  kafka::Broker broker;
+  broker.create_topic("t", kafka::TopicConfig{.partitions = 1}).expect_ok();
+  const std::vector<kafka::ProducerRecord> batch(
+      static_cast<std::size_t>(state.range(0)),
+      kafka::ProducerRecord{.value = std::string(64, 'x')});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(broker.append_batch({"t", 0}, batch, false));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AppendBatch)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_AppendWithReplication(benchmark::State& state) {
+  kafka::Broker broker;
+  broker
+      .create_topic("t", kafka::TopicConfig{.partitions = 1,
+                                            .replication_factor = 3})
+      .expect_ok();
+  const kafka::ProducerRecord record{.value = std::string(64, 'x')};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        broker.append({"t", 0}, record, /*wait_for_replication=*/true));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AppendWithReplication);
+
+void BM_FetchRange(benchmark::State& state) {
+  kafka::Broker broker;
+  broker.create_topic("t", kafka::TopicConfig{.partitions = 1}).expect_ok();
+  for (int i = 0; i < 10000; ++i) {
+    broker
+        .append({"t", 0},
+                kafka::ProducerRecord{.value = std::string(64, 'x')}, false)
+        .status()
+        .expect_ok();
+  }
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<kafka::StoredRecord> out;
+  std::int64_t offset = 0;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(broker.fetch({"t", 0}, offset, n, out));
+    offset = (offset + static_cast<std::int64_t>(n)) % 9000;
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FetchRange)->Arg(100)->Arg(1000);
+
+void BM_ConsumerPollLoop(benchmark::State& state) {
+  kafka::Broker broker;
+  broker.create_topic("t", kafka::TopicConfig{.partitions = 1}).expect_ok();
+  for (int i = 0; i < 50000; ++i) {
+    broker
+        .append({"t", 0},
+                kafka::ProducerRecord{.value = std::string(64, 'x')}, false)
+        .status()
+        .expect_ok();
+  }
+  for (auto _ : state) {
+    kafka::Consumer consumer(broker,
+                             kafka::ConsumerConfig{.max_poll_records = 1000});
+    consumer.subscribe("t").expect_ok();
+    std::size_t total = 0;
+    while (!consumer.at_end()) total += consumer.poll(0).size();
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * 50000);
+}
+BENCHMARK(BM_ConsumerPollLoop);
+
+void BM_ProducerSendBatched(benchmark::State& state) {
+  kafka::Broker broker;
+  broker.create_topic("t", kafka::TopicConfig{.partitions = 1}).expect_ok();
+  kafka::Producer producer(
+      broker, kafka::ProducerConfig{
+                  .batch_size = static_cast<std::size_t>(state.range(0)),
+                  .linger_us = 0});
+  const std::string value(64, 'x');
+  for (auto _ : state) {
+    producer.send("t", 0, kafka::ProducerRecord{.value = value}).expect_ok();
+  }
+  producer.flush().expect_ok();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProducerSendBatched)->Arg(1)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

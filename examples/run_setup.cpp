@@ -1,0 +1,90 @@
+// CLI utility: run any single benchmark setup and print its measurement —
+// handy for ad-hoc exploration beyond the fixed figure benches.
+//
+//   $ ./examples/run_setup <flink|spark|apex> <native|beam>
+//        <identity|sample|projection|grep> [parallelism] [records] [runs]
+//   $ ./examples/run_setup apex beam identity 2 50000 5
+#include <cstdio>
+#include <cstring>
+
+#include "common/stats.hpp"
+#include "harness/benchmark.hpp"
+
+using namespace dsps;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <flink|spark|apex> <native|beam> "
+               "<identity|sample|projection|grep> [parallelism=1] "
+               "[records=20000] [runs=3]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) return usage(argv[0]);
+
+  queries::Engine engine;
+  if (std::strcmp(argv[1], "flink") == 0) {
+    engine = queries::Engine::kFlink;
+  } else if (std::strcmp(argv[1], "spark") == 0) {
+    engine = queries::Engine::kSpark;
+  } else if (std::strcmp(argv[1], "apex") == 0) {
+    engine = queries::Engine::kApex;
+  } else {
+    return usage(argv[0]);
+  }
+
+  queries::Sdk sdk;
+  if (std::strcmp(argv[2], "native") == 0) {
+    sdk = queries::Sdk::kNative;
+  } else if (std::strcmp(argv[2], "beam") == 0) {
+    sdk = queries::Sdk::kBeam;
+  } else {
+    return usage(argv[0]);
+  }
+
+  workload::QueryId query;
+  if (std::strcmp(argv[3], "identity") == 0) {
+    query = workload::QueryId::kIdentity;
+  } else if (std::strcmp(argv[3], "sample") == 0) {
+    query = workload::QueryId::kSample;
+  } else if (std::strcmp(argv[3], "projection") == 0) {
+    query = workload::QueryId::kProjection;
+  } else if (std::strcmp(argv[3], "grep") == 0) {
+    query = workload::QueryId::kGrep;
+  } else {
+    return usage(argv[0]);
+  }
+
+  harness::HarnessConfig config = harness::HarnessConfig::from_env();
+  const int parallelism = argc > 4 ? std::atoi(argv[4]) : 1;
+  if (argc > 5) config.records = static_cast<std::uint64_t>(std::atoll(argv[5]));
+  if (argc > 6) config.runs = std::atoi(argv[6]);
+  if (parallelism < 1 || config.runs < 1 || config.records < 1) {
+    return usage(argv[0]);
+  }
+
+  harness::BenchmarkHarness bench(config);
+  const harness::SetupKey key{engine, sdk, query, parallelism};
+  std::printf("%s / %s, %llu records, %d runs\n",
+              harness::setup_label(key).c_str(),
+              workload::query_info(query).name.c_str(),
+              static_cast<unsigned long long>(config.records), config.runs);
+
+  auto measurements = bench.run_setup(key);
+  measurements.status().expect_ok();
+  const auto times = measurements.value().execution_times();
+  for (std::size_t r = 0; r < times.size(); ++r) {
+    std::printf("  run %zu: %.4f s (%lld output records)\n", r + 1, times[r],
+                static_cast<long long>(
+                    measurements.value().runs[r].output_records));
+  }
+  std::printf("mean %.4f s, rel. stddev %.3f\n", mean(times),
+              relative_stddev(times));
+  return 0;
+}

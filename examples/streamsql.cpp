@@ -1,0 +1,63 @@
+// StreamSQL extension demo: declarative queries compiled onto the Beam-sim
+// layer and executed on an engine of your choice — the "SQL road" to
+// portability the paper's related work (§IV: CQL, Calcite, KSQL) surveys.
+//
+//   $ ./examples/streamsql                       # demo queries
+//   $ ./examples/streamsql "SELECT COLUMN(1) FROM input
+//        WHERE CONTAINS('hotel')"               # your own query
+#include <cstdio>
+
+#include "beam/runners/flink_runner.hpp"
+#include "beam/streamsql.hpp"
+#include "workload/aol_generator.hpp"
+#include "workload/data_sender.hpp"
+
+using namespace dsps;
+
+int main(int argc, char** argv) {
+  kafka::Broker broker;
+  workload::create_benchmark_topic(broker, "input").expect_ok();
+  workload::AolGenerator generator({.record_count = 2000, .seed = 42});
+  workload::DataSender sender(broker,
+                              workload::DataSenderConfig{.topic = "input"});
+  sender.send_generated(generator).status().expect_ok();
+
+  std::vector<std::string> queries;
+  if (argc > 1) {
+    queries.emplace_back(argv[1]);
+  } else {
+    queries = {
+        "SELECT * FROM input WHERE CONTAINS('test')",
+        "SELECT COLUMN(0) FROM input SAMPLE 1%",
+        "SELECT COLUMN(1) FROM input WHERE CONTAINS('hotel') SAMPLE 50%",
+    };
+  }
+
+  for (const auto& text : queries) {
+    auto parsed = beam::sql::parse(text);
+    if (!parsed.is_ok()) {
+      std::printf("parse error for \"%s\": %s\n", text.c_str(),
+                  parsed.status().to_string().c_str());
+      continue;
+    }
+    std::printf("> %s\n", beam::sql::to_sql(parsed.value()).c_str());
+
+    (void)broker.delete_topic("output");
+    broker.create_topic("output", kafka::TopicConfig{.partitions = 1})
+        .expect_ok();
+    beam::Pipeline pipeline;
+    beam::sql::compile(parsed.value(), broker, pipeline).expect_ok();
+    beam::FlinkRunner runner;  // any runner works here
+    pipeline.run(runner).status().expect_ok();
+
+    std::vector<kafka::StoredRecord> out;
+    broker.fetch({"output", 0}, 0, 100000, out).status().expect_ok();
+    std::printf("  %zu rows", out.size());
+    for (std::size_t i = 0; i < out.size() && i < 5; ++i) {
+      std::printf("\n    %s", out[i].value.c_str());
+    }
+    if (out.size() > 5) std::printf("\n    ...");
+    std::printf("\n\n");
+  }
+  return 0;
+}

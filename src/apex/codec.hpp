@@ -1,0 +1,47 @@
+// Stream codecs: tuples crossing a container boundary are serialized to
+// bytes and deserialized on the consumer side — real work that makes
+// operator placement a first-order performance decision, exactly the
+// mechanism behind the Beam-on-Apex slowdown pattern (§III-C3).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "apex/operator.hpp"
+
+namespace dsps::apex {
+
+class StreamCodec {
+ public:
+  virtual ~StreamCodec() = default;
+  virtual Bytes serialize(const Tuple& tuple) const = 0;
+  virtual Tuple deserialize(const Bytes& bytes) const = 0;
+};
+
+using CodecFactory = std::function<std::unique_ptr<StreamCodec>()>;
+
+/// Codec for plain std::string tuples (the native queries' record type).
+class StringCodec final : public StreamCodec {
+ public:
+  Bytes serialize(const Tuple& tuple) const override {
+    const auto& value = tuple_cast<std::string>(tuple);
+    Bytes out;
+    out.reserve(value.size() + 4);
+    BinaryWriter writer(out);
+    writer.write_string(value);
+    return out;
+  }
+
+  Tuple deserialize(const Bytes& bytes) const override {
+    BinaryReader reader(bytes);
+    return make_tuple_of<std::string>(reader.read_string());
+  }
+};
+
+inline CodecFactory string_codec() {
+  return [] { return std::make_unique<StringCodec>(); };
+}
+
+}  // namespace dsps::apex

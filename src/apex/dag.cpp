@@ -1,0 +1,73 @@
+#include "apex/dag.hpp"
+
+namespace dsps::apex {
+
+int Dag::add_operator(const std::string& name, OperatorFactory factory,
+                      bool is_input) {
+  DagNode node;
+  node.id = static_cast<int>(nodes_.size());
+  node.name = name;
+  node.factory = std::move(factory);
+  node.is_input = is_input;
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+void Dag::set_partitions(int node, int partitions) {
+  require(node >= 0 && node < static_cast<int>(nodes_.size()),
+          "unknown DAG node");
+  require(partitions >= 1, "partitions must be >= 1");
+  require(!nodes_[static_cast<std::size_t>(node)].is_input || partitions == 1,
+          "input operators cannot be partitioned");
+  nodes_[static_cast<std::size_t>(node)].partitions = partitions;
+}
+
+void Dag::add_stream(const std::string& name, PortRef from, PortRef to,
+                     Locality locality, CodecFactory codec) {
+  streams_.push_back(DagStream{.name = name,
+                               .from = from,
+                               .to = to,
+                               .locality = locality,
+                               .codec = std::move(codec)});
+}
+
+Status Dag::validate() const {
+  const auto node_count = static_cast<int>(nodes_.size());
+  for (const auto& stream : streams_) {
+    if (stream.from.node < 0 || stream.from.node >= node_count ||
+        stream.to.node < 0 || stream.to.node >= node_count) {
+      return Status::invalid_argument("stream " + stream.name +
+                                      " references unknown node");
+    }
+    if (stream.from.node == stream.to.node) {
+      return Status::invalid_argument("stream " + stream.name +
+                                      " is a self-loop");
+    }
+    const auto& to = nodes_[static_cast<std::size_t>(stream.to.node)];
+    if (to.is_input) {
+      return Status::invalid_argument("stream " + stream.name +
+                                      " feeds an input operator");
+    }
+    if (stream.locality == Locality::kThreadLocal) {
+      const auto& from = nodes_[static_cast<std::size_t>(stream.from.node)];
+      if (from.partitions != to.partitions) {
+        return Status::invalid_argument(
+            "THREAD_LOCAL stream " + stream.name +
+            " requires equal partition counts");
+      }
+    }
+    if (stream.locality == Locality::kNodeLocal && !stream.codec) {
+      return Status::invalid_argument("stream " + stream.name +
+                                      " crosses containers without a codec");
+    }
+  }
+  // A runnable DAG needs at least one input operator to drive it.
+  bool has_input = false;
+  for (const auto& node : nodes_) has_input |= node.is_input;
+  if (!has_input) {
+    return Status::invalid_argument("DAG has no input operator");
+  }
+  return Status::ok();
+}
+
+}  // namespace dsps::apex

@@ -1,0 +1,77 @@
+// Logical DAG: operators (as factories, so they can be partitioned) and
+// streams with locality hints.
+//
+// Localities (matching Apex):
+//   THREAD_LOCAL    — producer and consumer share a thread; emit is a
+//                     direct call (how the fast native pipelines deploy).
+//   CONTAINER_LOCAL — same container, different threads; in-memory queue,
+//                     no serialization.
+//   NODE_LOCAL      — different containers: every tuple is serialized by
+//                     the stream codec, crosses a queue, and is
+//                     deserialized (the default, and what the Beam runner
+//                     produces for every translated transform).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "apex/codec.hpp"
+#include "apex/operator.hpp"
+
+namespace dsps::apex {
+
+enum class Locality { kThreadLocal, kContainerLocal, kNodeLocal };
+
+struct PortRef {
+  int node = 0;
+  int port = 0;
+};
+
+struct DagNode {
+  int id = 0;
+  std::string name;
+  OperatorFactory factory;
+  bool is_input = false;
+  int partitions = 1;  // VCORE-style parallelism (DAG attribute, §III-A2)
+};
+
+struct DagStream {
+  std::string name;
+  PortRef from;
+  PortRef to;
+  Locality locality = Locality::kNodeLocal;
+  CodecFactory codec;
+};
+
+class Dag {
+ public:
+  /// Adds an operator described by a factory (invoked once per partition).
+  int add_operator(const std::string& name, OperatorFactory factory,
+                   bool is_input = false);
+
+  int add_input_operator(const std::string& name, OperatorFactory factory) {
+    return add_operator(name, std::move(factory), /*is_input=*/true);
+  }
+
+  /// Sets the operator's partition count (input operators must stay 1).
+  void set_partitions(int node, int partitions);
+
+  /// Connects output port `from` to input port `to`.
+  void add_stream(const std::string& name, PortRef from, PortRef to,
+                  Locality locality, CodecFactory codec);
+
+  const std::vector<DagNode>& nodes() const noexcept { return nodes_; }
+  const std::vector<DagStream>& streams() const noexcept { return streams_; }
+
+  /// Structural validation: port references in range, inputs have no
+  /// inbound streams, THREAD_LOCAL ends have equal partition counts.
+  Status validate() const;
+
+ private:
+  std::vector<DagNode> nodes_;
+  std::vector<DagStream> streams_;
+};
+
+}  // namespace dsps::apex

@@ -1,0 +1,548 @@
+#include "apex/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "common/clock.hpp"
+#include "common/queue.hpp"
+
+namespace dsps::apex {
+
+namespace {
+
+// --- physical plan ---------------------------------------------------------
+
+struct Instance {
+  int id = 0;
+  int node = 0;
+  int partition = 0;
+  int group = -1;
+};
+
+struct PhysicalPlan {
+  std::vector<Instance> instances;
+  std::vector<std::vector<int>> groups;      // group -> instance ids (topo)
+  std::vector<int> group_container;          // group -> container group id
+  int container_count = 0;
+  std::vector<bool> group_is_input;          // group hosts an input operator
+  // instance lookup: (node, partition) -> instance id
+  std::map<std::pair<int, int>, int> by_node_partition;
+};
+
+/// Union-find.
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<int>(i);
+  }
+  int find(int x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      x = parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(
+              parent_[static_cast<std::size_t>(x)])];
+    }
+    return x;
+  }
+  void unite(int a, int b) { parent_[static_cast<std::size_t>(find(a))] = find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+PhysicalPlan build_physical_plan(const Dag& dag) {
+  PhysicalPlan plan;
+  for (const auto& node : dag.nodes()) {
+    for (int p = 0; p < node.partitions; ++p) {
+      const int id = static_cast<int>(plan.instances.size());
+      plan.instances.push_back(
+          Instance{.id = id, .node = node.id, .partition = p});
+      plan.by_node_partition[{node.id, p}] = id;
+    }
+  }
+
+  // Thread groups: THREAD_LOCAL streams fuse instance i <-> instance i.
+  DisjointSet thread_sets(plan.instances.size());
+  for (const auto& stream : dag.streams()) {
+    if (stream.locality != Locality::kThreadLocal) continue;
+    const auto& from = dag.nodes()[static_cast<std::size_t>(stream.from.node)];
+    for (int p = 0; p < from.partitions; ++p) {
+      thread_sets.unite(plan.by_node_partition.at({stream.from.node, p}),
+                        plan.by_node_partition.at({stream.to.node, p}));
+    }
+  }
+  std::map<int, int> root_to_group;
+  for (auto& instance : plan.instances) {
+    const int root = thread_sets.find(instance.id);
+    auto [it, inserted] =
+        root_to_group.emplace(root, static_cast<int>(plan.groups.size()));
+    if (inserted) plan.groups.emplace_back();
+    instance.group = it->second;
+    plan.groups[static_cast<std::size_t>(it->second)].push_back(instance.id);
+  }
+  // Instances were created in node order, which is topological for the
+  // builder API, so each group's instance list is already topo-ordered.
+
+  plan.group_is_input.assign(plan.groups.size(), false);
+  for (const auto& instance : plan.instances) {
+    if (dag.nodes()[static_cast<std::size_t>(instance.node)].is_input) {
+      plan.group_is_input[static_cast<std::size_t>(instance.group)] = true;
+    }
+  }
+
+  // Container groups: CONTAINER_LOCAL streams co-locate thread groups.
+  DisjointSet container_sets(plan.groups.size());
+  for (const auto& stream : dag.streams()) {
+    if (stream.locality != Locality::kContainerLocal) continue;
+    const auto& from = dag.nodes()[static_cast<std::size_t>(stream.from.node)];
+    const auto& to = dag.nodes()[static_cast<std::size_t>(stream.to.node)];
+    for (int pf = 0; pf < from.partitions; ++pf) {
+      const int gi =
+          plan.instances[static_cast<std::size_t>(
+                             plan.by_node_partition.at({stream.from.node, pf}))]
+              .group;
+      for (int pt = 0; pt < to.partitions; ++pt) {
+        const int gj = plan.instances[static_cast<std::size_t>(
+                                          plan.by_node_partition.at(
+                                              {stream.to.node, pt}))]
+                           .group;
+        container_sets.unite(gi, gj);
+      }
+    }
+  }
+  std::map<int, int> container_ids;
+  plan.group_container.assign(plan.groups.size(), 0);
+  for (std::size_t g = 0; g < plan.groups.size(); ++g) {
+    const int root = container_sets.find(static_cast<int>(g));
+    auto [it, inserted] =
+        container_ids.emplace(root, plan.container_count);
+    if (inserted) ++plan.container_count;
+    plan.group_container[g] = it->second;
+  }
+  return plan;
+}
+
+// --- runtime ---------------------------------------------------------------
+
+struct Mail {
+  enum class Kind : std::uint8_t {
+    kData,
+    kBeginWindow,
+    kEndWindow,
+    kEndStream
+  };
+  Kind kind = Kind::kData;
+  int target_instance = -1;  // data only
+  int target_port = 0;       // data only
+  WindowId window = 0;
+  Tuple tuple;               // same-container data
+  Bytes bytes;               // cross-container data (serialized)
+  bool serialized = false;
+  int codec_index = -1;      // which stream codec deserializes `bytes`
+};
+
+using Mailbox = BoundedQueue<Mail>;
+
+/// Marker fan-out: one entry per (outbound stream, consumer group).
+struct MarkerTarget {
+  Mailbox* mailbox = nullptr;
+};
+
+struct GroupRuntime {
+  int id = 0;
+  bool is_input = false;
+  std::vector<Operator*> operators;        // topo order
+  std::vector<OperatorContext> contexts;   // parallel to operators
+  InputOperator* input = nullptr;          // when is_input
+  std::shared_ptr<Mailbox> mailbox;        // inbound (null for pure input)
+  std::vector<MarkerTarget> marker_targets;
+  int expected_marker_producers = 0;  // (inbound stream, producer group) pairs
+};
+
+}  // namespace
+
+Result<std::string> render_physical_plan(const Dag& dag) {
+  if (Status s = dag.validate(); !s.is_ok()) return s;
+  const PhysicalPlan plan = build_physical_plan(dag);
+  std::string out;
+  for (std::size_t g = 0; g < plan.groups.size(); ++g) {
+    out += "Container " + std::to_string(plan.group_container[g]) +
+           " / Thread Group " + std::to_string(g) + ":\n";
+    for (const int instance_id : plan.groups[g]) {
+      const auto& instance =
+          plan.instances[static_cast<std::size_t>(instance_id)];
+      const auto& node = dag.nodes()[static_cast<std::size_t>(instance.node)];
+      out += "    " + node.name + "[" + std::to_string(instance.partition) +
+             "]" + (node.is_input ? " (input)" : "") + "\n";
+    }
+  }
+  for (const auto& stream : dag.streams()) {
+    const char* locality =
+        stream.locality == Locality::kThreadLocal      ? "THREAD_LOCAL"
+        : stream.locality == Locality::kContainerLocal ? "CONTAINER_LOCAL"
+                                                        : "NODE_LOCAL";
+    out += "Stream " + stream.name + ": " +
+           dag.nodes()[static_cast<std::size_t>(stream.from.node)].name +
+           " -> " +
+           dag.nodes()[static_cast<std::size_t>(stream.to.node)].name + " [" +
+           locality + "]\n";
+  }
+  return out;
+}
+
+Result<ApplicationStats> launch_application(yarn::ResourceManager& rm,
+                                            const Dag& dag,
+                                            const EngineConfig& config) {
+  if (Status s = dag.validate(); !s.is_ok()) return s;
+  const PhysicalPlan plan = build_physical_plan(dag);
+
+  // Instantiate operators.
+  std::vector<std::unique_ptr<Operator>> operators;
+  operators.reserve(plan.instances.size());
+  for (const auto& instance : plan.instances) {
+    const auto& node = dag.nodes()[static_cast<std::size_t>(instance.node)];
+    operators.push_back(node.factory());
+  }
+
+  // Per-node delivery counters.
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> tuples_in;
+  for (std::size_t n = 0; n < dag.nodes().size(); ++n) {
+    tuples_in.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
+  std::atomic<std::int64_t> windows_emitted{0};
+
+  // Group runtimes.
+  std::vector<GroupRuntime> groups(plan.groups.size());
+  for (std::size_t g = 0; g < plan.groups.size(); ++g) {
+    groups[g].id = static_cast<int>(g);
+    groups[g].is_input = plan.group_is_input[g];
+    for (const int instance_id : plan.groups[g]) {
+      const auto& instance =
+          plan.instances[static_cast<std::size_t>(instance_id)];
+      const auto& node = dag.nodes()[static_cast<std::size_t>(instance.node)];
+      Operator* op = operators[static_cast<std::size_t>(instance_id)].get();
+      groups[g].operators.push_back(op);
+      groups[g].contexts.push_back(
+          OperatorContext{.name = node.name,
+                          .partition_index = instance.partition,
+                          .partition_count = node.partitions});
+      if (node.is_input) {
+        groups[g].input = dynamic_cast<InputOperator*>(op);
+        if (groups[g].input == nullptr) {
+          return Status::invalid_argument(
+              "node " + node.name +
+              " is marked input but is not an InputOperator");
+        }
+      }
+    }
+  }
+
+  // Mailboxes for groups with inbound cross-thread streams. The expected
+  // marker count per consumer group is the number of distinct
+  // (inbound stream, producer group) pairs feeding it.
+  std::map<int, std::set<std::pair<int, int>>> consumer_marker_sources;
+  for (std::size_t s = 0; s < dag.streams().size(); ++s) {
+    const auto& stream = dag.streams()[s];
+    if (stream.locality == Locality::kThreadLocal) continue;
+    const auto& from = dag.nodes()[static_cast<std::size_t>(stream.from.node)];
+    const auto& to = dag.nodes()[static_cast<std::size_t>(stream.to.node)];
+    for (int pt = 0; pt < to.partitions; ++pt) {
+      const int consumer_group =
+          plan.instances[static_cast<std::size_t>(
+                             plan.by_node_partition.at({stream.to.node, pt}))]
+              .group;
+      auto& group = groups[static_cast<std::size_t>(consumer_group)];
+      if (!group.mailbox) {
+        group.mailbox = std::make_shared<Mailbox>(config.mailbox_capacity);
+      }
+      for (int pf = 0; pf < from.partitions; ++pf) {
+        const int producer_group =
+            plan.instances[static_cast<std::size_t>(plan.by_node_partition.at(
+                               {stream.from.node, pf}))]
+                .group;
+        consumer_marker_sources[consumer_group].insert(
+            {static_cast<int>(s), producer_group});
+      }
+    }
+  }
+  for (auto& [consumer_group, sources] : consumer_marker_sources) {
+    groups[static_cast<std::size_t>(consumer_group)]
+        .expected_marker_producers = static_cast<int>(sources.size());
+  }
+
+  // Codecs, one per NODE_LOCAL stream (shared by producer & consumer side).
+  std::vector<std::unique_ptr<StreamCodec>> codecs(dag.streams().size());
+  for (std::size_t s = 0; s < dag.streams().size(); ++s) {
+    if (dag.streams()[s].locality == Locality::kNodeLocal) {
+      codecs[s] = dag.streams()[s].codec();
+    }
+  }
+
+  // Bind output ports.
+  struct RouterState {
+    std::size_t round_robin = 0;
+  };
+  std::vector<std::unique_ptr<RouterState>> routers;
+  for (std::size_t s = 0; s < dag.streams().size(); ++s) {
+    const auto& stream = dag.streams()[s];
+    const auto& from = dag.nodes()[static_cast<std::size_t>(stream.from.node)];
+    const auto& to = dag.nodes()[static_cast<std::size_t>(stream.to.node)];
+    for (int pf = 0; pf < from.partitions; ++pf) {
+      const int producer_instance =
+          plan.by_node_partition.at({stream.from.node, pf});
+      Operator* producer =
+          operators[static_cast<std::size_t>(producer_instance)].get();
+      auto* counter = tuples_in[static_cast<std::size_t>(to.id)].get();
+
+      if (stream.locality == Locality::kThreadLocal) {
+        const int consumer_instance =
+            plan.by_node_partition.at({stream.to.node, pf});
+        Operator* consumer =
+            operators[static_cast<std::size_t>(consumer_instance)].get();
+        const int port = stream.to.port;
+        producer->bind_output(stream.from.port,
+                              [consumer, port, counter](Tuple tuple) {
+                                counter->fetch_add(
+                                    1, std::memory_order_relaxed);
+                                consumer->deliver(port, std::move(tuple));
+                              });
+        continue;
+      }
+
+      // Cross-thread: route to a consumer instance's group mailbox.
+      routers.push_back(std::make_unique<RouterState>());
+      RouterState* router = routers.back().get();
+      std::vector<std::pair<int, Mailbox*>> targets;  // (instance, mailbox)
+      for (int pt = 0; pt < to.partitions; ++pt) {
+        const int consumer_instance =
+            plan.by_node_partition.at({stream.to.node, pt});
+        const int consumer_group =
+            plan.instances[static_cast<std::size_t>(consumer_instance)].group;
+        targets.emplace_back(
+            consumer_instance,
+            groups[static_cast<std::size_t>(consumer_group)].mailbox.get());
+      }
+      const bool pairwise = from.partitions == to.partitions;
+      const bool serialize = stream.locality == Locality::kNodeLocal;
+      StreamCodec* codec = codecs[s].get();
+      const int port = stream.to.port;
+      const int codec_index = static_cast<int>(s);
+      producer->bind_output(
+          stream.from.port,
+          [targets, router, pairwise, serialize, codec, port, pf, counter,
+           codec_index](Tuple tuple) {
+            const std::size_t pick =
+                pairwise ? static_cast<std::size_t>(pf)
+                         : router->round_robin++ % targets.size();
+            const auto& [instance, mailbox] = targets[pick];
+            counter->fetch_add(1, std::memory_order_relaxed);
+            Mail mail;
+            mail.kind = Mail::Kind::kData;
+            mail.target_instance = instance;
+            mail.target_port = port;
+            if (serialize) {
+              mail.bytes = codec->serialize(tuple);
+              mail.serialized = true;
+              mail.codec_index = codec_index;
+            } else {
+              mail.tuple = std::move(tuple);
+            }
+            mailbox->push(std::move(mail));
+          });
+    }
+  }
+
+  // Marker fan-out per group: one target per (outbound stream, consumer grp).
+  for (std::size_t s = 0; s < dag.streams().size(); ++s) {
+    const auto& stream = dag.streams()[s];
+    if (stream.locality == Locality::kThreadLocal) continue;
+    const auto& from = dag.nodes()[static_cast<std::size_t>(stream.from.node)];
+    const auto& to = dag.nodes()[static_cast<std::size_t>(stream.to.node)];
+    for (int pf = 0; pf < from.partitions; ++pf) {
+      const int producer_group =
+          plan.instances[static_cast<std::size_t>(
+                             plan.by_node_partition.at({stream.from.node, pf}))]
+              .group;
+      std::set<Mailbox*> seen;
+      for (int pt = 0; pt < to.partitions; ++pt) {
+        const int consumer_group =
+            plan.instances[static_cast<std::size_t>(plan.by_node_partition.at(
+                               {stream.to.node, pt}))]
+                .group;
+        Mailbox* mailbox =
+            groups[static_cast<std::size_t>(consumer_group)].mailbox.get();
+        if (seen.insert(mailbox).second) {
+          groups[static_cast<std::size_t>(producer_group)]
+              .marker_targets.push_back(MarkerTarget{mailbox});
+        }
+      }
+    }
+  }
+
+  // Instance lookup for mail dispatch.
+  std::map<int, std::pair<Operator*, int>> instance_ops;  // id -> (op, group)
+  for (const auto& instance : plan.instances) {
+    instance_ops[instance.id] = {
+        operators[static_cast<std::size_t>(instance.id)].get(),
+        instance.group};
+  }
+
+  // --- group thread bodies --------------------------------------------------
+  auto send_markers = [](GroupRuntime& group, Mail::Kind kind,
+                         WindowId window) {
+    for (const auto& target : group.marker_targets) {
+      Mail mail;
+      mail.kind = kind;
+      mail.window = window;
+      target.mailbox->push(std::move(mail));
+    }
+  };
+
+  auto group_body = [&](GroupRuntime& group) {
+    for (std::size_t i = 0; i < group.operators.size(); ++i) {
+      group.operators[i]->setup(group.contexts[i]);
+    }
+    if (group.is_input) {
+      WindowId window = 0;
+      bool more = true;
+      while (more) {
+        for (auto* op : group.operators) op->begin_window(window);
+        send_markers(group, Mail::Kind::kBeginWindow, window);
+        more = group.input->emit_tuples(config.window_tuple_budget);
+        for (auto* op : group.operators) op->end_window();
+        send_markers(group, Mail::Kind::kEndWindow, window);
+        windows_emitted.fetch_add(1, std::memory_order_relaxed);
+        ++window;
+      }
+      for (auto* op : group.operators) op->end_stream();
+      send_markers(group, Mail::Kind::kEndStream, window);
+      for (auto* op : group.operators) op->teardown();
+      return;
+    }
+
+    // Processing group: drive lifecycle from received markers.
+    int end_streams_seen = 0;
+    int ends_seen = 0;
+    bool in_window = false;
+    WindowId current_window = 0;
+    while (end_streams_seen < group.expected_marker_producers) {
+      auto mail = group.mailbox->pop();
+      if (!mail.has_value()) break;
+      switch (mail->kind) {
+        case Mail::Kind::kData: {
+          Operator* op = instance_ops.at(mail->target_instance).first;
+          if (mail->serialized) {
+            op->deliver(
+                mail->target_port,
+                codecs[static_cast<std::size_t>(mail->codec_index)]
+                    ->deserialize(mail->bytes));
+          } else {
+            op->deliver(mail->target_port, std::move(mail->tuple));
+          }
+          break;
+        }
+        case Mail::Kind::kBeginWindow:
+          if (!in_window) {
+            current_window = mail->window;
+            for (auto* op : group.operators) op->begin_window(current_window);
+            send_markers(group, Mail::Kind::kBeginWindow, current_window);
+            in_window = true;
+          }
+          break;
+        case Mail::Kind::kEndWindow:
+          if (++ends_seen >= group.expected_marker_producers) {
+            ends_seen = 0;
+            if (in_window) {
+              for (auto* op : group.operators) op->end_window();
+              send_markers(group, Mail::Kind::kEndWindow, current_window);
+              in_window = false;
+            }
+          }
+          break;
+        case Mail::Kind::kEndStream:
+          ++end_streams_seen;
+          break;
+      }
+    }
+    if (in_window) {
+      for (auto* op : group.operators) op->end_window();
+      send_markers(group, Mail::Kind::kEndWindow, current_window);
+    }
+    for (auto* op : group.operators) op->end_stream();
+    send_markers(group, Mail::Kind::kEndStream, current_window);
+    for (auto* op : group.operators) op->teardown();
+  };
+
+  // --- deployment through YARN ----------------------------------------------
+  // Group indices per container.
+  std::vector<std::vector<int>> container_groups(
+      static_cast<std::size_t>(plan.container_count));
+  for (std::size_t g = 0; g < plan.groups.size(); ++g) {
+    container_groups[static_cast<std::size_t>(plan.group_container[g])]
+        .push_back(static_cast<int>(g));
+  }
+
+  Stopwatch watch;
+  Status failure = Status::ok();
+  auto app_id = rm.submit_application(
+      "apex-app", yarn::Resource{1, 256},
+      [&](yarn::AppMasterContext& am) {
+        // STRAM: allocate one container per container group, launch group
+        // threads inside, await, release.
+        std::vector<yarn::Container> yarn_containers;
+        for (const auto& group_list : container_groups) {
+          int instances = 0;
+          for (const int g : group_list) {
+            instances += static_cast<int>(
+                plan.groups[static_cast<std::size_t>(g)].size());
+          }
+          auto container = am.allocate(yarn::Resource{
+              config.vcores_per_instance * std::max(1, instances),
+              config.memory_mb_per_instance * std::max(1, instances)});
+          if (!container.is_ok()) {
+            failure = container.status();
+            break;
+          }
+          yarn_containers.push_back(container.value());
+        }
+        if (!failure.is_ok()) {
+          for (const auto& container : yarn_containers) am.release(container);
+          return;
+        }
+        for (std::size_t c = 0; c < yarn_containers.size(); ++c) {
+          const auto& group_list = container_groups[c];
+          Status launched = am.launch(yarn_containers[c], [&, group_list] {
+            std::vector<std::thread> threads;
+            for (const int g : group_list) {
+              threads.emplace_back(
+                  [&, g] { group_body(groups[static_cast<std::size_t>(g)]); });
+            }
+            for (auto& thread : threads) thread.join();
+          });
+          if (!launched.is_ok()) failure = launched;
+        }
+        for (const auto& container : yarn_containers) {
+          am.await(container);
+          am.release(container);
+        }
+      });
+  if (!app_id.is_ok()) return app_id.status();
+  rm.await_application(app_id.value());
+  if (!failure.is_ok()) return failure;
+
+  ApplicationStats stats;
+  stats.duration_ms = watch.elapsed_ms();
+  stats.containers_used = plan.container_count;
+  stats.thread_groups = static_cast<int>(plan.groups.size());
+  stats.windows_emitted = windows_emitted.load();
+  for (const auto& node : dag.nodes()) {
+    stats.tuples_in[node.name] =
+        tuples_in[static_cast<std::size_t>(node.id)]->load();
+  }
+  return stats;
+}
+
+}  // namespace dsps::apex

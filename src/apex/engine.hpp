@@ -1,0 +1,55 @@
+// Apex-sim execution engine.
+//
+// The logical DAG is expanded into a physical plan: each operator becomes
+// `partitions` instances; THREAD_LOCAL streams fuse instances into thread
+// groups; CONTAINER_LOCAL groups share a container; everything else gets its
+// own container. The STRAM (Streaming Application Manager, §II-D) runs as
+// the YARN AppMaster: it requests one container per container group,
+// launches the group threads inside them, and waits for completion.
+//
+// Data crossing a thread boundary travels through a mailbox queue;
+// data crossing a *container* boundary is additionally serialized and
+// deserialized by the stream codec — the cost model behind the paper's
+// Apex observations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "apex/dag.hpp"
+#include "yarn/resource_manager.hpp"
+
+namespace dsps::apex {
+
+struct EngineConfig {
+  /// Tuples an input operator may emit per streaming window.
+  std::size_t window_tuple_budget = 4096;
+  std::size_t mailbox_capacity = 4096;
+  /// Resources requested per operator instance.
+  int vcores_per_instance = 1;
+  int memory_mb_per_instance = 256;
+};
+
+struct ApplicationStats {
+  double duration_ms = 0.0;
+  int containers_used = 0;
+  int thread_groups = 0;
+  std::int64_t windows_emitted = 0;
+  /// Tuples delivered into each logical operator (by node name).
+  std::map<std::string, std::uint64_t> tuples_in;
+};
+
+/// Validates, deploys via the ResourceManager, runs to completion
+/// (bounded input operators), and reports stats.
+Result<ApplicationStats> launch_application(yarn::ResourceManager& rm,
+                                            const Dag& dag,
+                                            const EngineConfig& config);
+
+/// Renders the physical plan (instances, thread groups, containers) for
+/// inspection — the Apex analogue of the Fig. 12/13 plan dumps.
+Result<std::string> render_physical_plan(const Dag& dag);
+
+}  // namespace dsps::apex

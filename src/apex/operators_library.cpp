@@ -1,0 +1,123 @@
+#include "apex/operators_library.hpp"
+
+#include <utility>
+
+namespace dsps::apex {
+
+KafkaStringInput::KafkaStringInput(kafka::Broker& broker, std::string topic)
+    : broker_(broker), topic_(std::move(topic)), out_(register_output()) {}
+
+void KafkaStringInput::setup(const OperatorContext& /*context*/) {
+  consumer_ = std::make_unique<kafka::Consumer>(
+      broker_, kafka::ConsumerConfig{.max_poll_records = 2048});
+  const auto partitions = broker_.partition_count(topic_);
+  partitions.status().expect_ok();
+  for (int p = 0; p < partitions.value(); ++p) {
+    const kafka::TopicPartition tp{topic_, p};
+    consumer_->assign(tp, 0).expect_ok();
+    const auto end = broker_.end_offset(tp);
+    end.status().expect_ok();
+    bounded_end_.push_back(end.value());
+  }
+}
+
+bool KafkaStringInput::emit_tuples(std::size_t budget) {
+  std::size_t emitted = 0;
+  while (emitted < budget) {
+    const auto records = consumer_->poll(/*timeout_ms=*/0);
+    if (records.empty()) break;
+    for (const auto& record : records) {
+      emit(out_, make_tuple_of<std::string>(record.value));
+      ++emitted;
+    }
+  }
+  const auto positions = consumer_->positions();
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (positions[i].second < bounded_end_[i]) return true;
+  }
+  return false;
+}
+
+KafkaStringOutput::KafkaStringOutput(kafka::Broker& broker, Config config)
+    : broker_(broker),
+      config_(std::move(config)),
+      in_(register_input([this](const Tuple& tuple) { on_tuple(tuple); })) {}
+
+void KafkaStringOutput::setup(const OperatorContext& /*context*/) {
+  producer_ = std::make_unique<kafka::Producer>(
+      broker_, kafka::ProducerConfig{.acks = config_.acks,
+                                     .batch_size = config_.batch_size});
+}
+
+void KafkaStringOutput::on_tuple(const Tuple& tuple) {
+  producer_
+      ->send(config_.topic, config_.partition,
+             kafka::ProducerRecord{.key = {},
+                                   .value = tuple_cast<std::string>(tuple)})
+      .expect_ok();
+}
+
+void KafkaStringOutput::end_window() {
+  // Apex output operators typically flush at window boundaries; with
+  // batch_size == 1 every tuple has already gone out synchronously.
+  if (producer_) producer_->flush().expect_ok();
+}
+
+void KafkaStringOutput::teardown() {
+  if (producer_) producer_->close().expect_ok();
+}
+
+FunctionOperator::FunctionOperator(Fn fn)
+    : fn_(std::move(fn)),
+      in_(register_input([this](const Tuple& tuple) {
+        fn_(tuple, [this](Tuple out) { emit(out_, std::move(out)); });
+      })),
+      out_(register_output()) {}
+
+OperatorFactory kafka_input_factory(kafka::Broker& broker, std::string topic) {
+  return [&broker, topic] {
+    return std::make_unique<KafkaStringInput>(broker, topic);
+  };
+}
+
+OperatorFactory kafka_output_factory(kafka::Broker& broker,
+                                     KafkaStringOutput::Config config) {
+  return [&broker, config] {
+    return std::make_unique<KafkaStringOutput>(broker, config);
+  };
+}
+
+OperatorFactory map_string_factory(
+    std::function<std::string(const std::string&)> fn) {
+  return [fn = std::move(fn)] {
+    return std::make_unique<FunctionOperator>(
+        [fn](const Tuple& tuple, const std::function<void(Tuple)>& emit) {
+          emit(make_tuple_of<std::string>(fn(tuple_cast<std::string>(tuple))));
+        });
+  };
+}
+
+OperatorFactory filter_string_factory(
+    std::function<bool(const std::string&)> predicate) {
+  return [predicate = std::move(predicate)] {
+    return std::make_unique<FunctionOperator>(
+        [predicate](const Tuple& tuple,
+                    const std::function<void(Tuple)>& emit) {
+          if (predicate(tuple_cast<std::string>(tuple))) emit(tuple);
+        });
+  };
+}
+
+OperatorFactory flat_map_string_factory(
+    std::function<std::vector<std::string>(const std::string&)> fn) {
+  return [fn = std::move(fn)] {
+    return std::make_unique<FunctionOperator>(
+        [fn](const Tuple& tuple, const std::function<void(Tuple)>& emit) {
+          for (auto& value : fn(tuple_cast<std::string>(tuple))) {
+            emit(make_tuple_of<std::string>(std::move(value)));
+          }
+        });
+  };
+}
+
+}  // namespace dsps::apex

@@ -1,0 +1,94 @@
+// Malhar-like operator library: Kafka connectors and functional compute
+// operators (§II-D: "Apex Malhar ... contains different input/output
+// operators and compute operators", including Kafka connectors).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apex/operator.hpp"
+#include "kafka/broker.hpp"
+#include "kafka/consumer.hpp"
+#include "kafka/producer.hpp"
+
+namespace dsps::apex {
+
+/// Bounded Kafka string input: reads the whole topic as it stood at setup
+/// and finishes. Output port 0 emits std::string tuples.
+class KafkaStringInput final : public InputOperator {
+ public:
+  KafkaStringInput(kafka::Broker& broker, std::string topic);
+
+  void setup(const OperatorContext& context) override;
+  bool emit_tuples(std::size_t budget) override;
+
+  int output_port() const noexcept { return out_; }
+
+ private:
+  kafka::Broker& broker_;
+  std::string topic_;
+  int out_;
+  std::unique_ptr<kafka::Consumer> consumer_;
+  std::vector<std::int64_t> bounded_end_;
+};
+
+/// Kafka string output with configurable producer batching. Input port 0.
+class KafkaStringOutput final : public Operator {
+ public:
+  struct Config {
+    std::string topic;
+    int partition = 0;
+    kafka::Acks acks = kafka::Acks::kLeader;
+    /// 1 = synchronous per-tuple produce (how the generic Beam writer
+    /// behaves on this runner); the native operator batches.
+    std::size_t batch_size = 500;
+  };
+
+  KafkaStringOutput(kafka::Broker& broker, Config config);
+
+  void setup(const OperatorContext& context) override;
+  void end_window() override;
+  void teardown() override;
+
+  int input_port() const noexcept { return in_; }
+
+ private:
+  void on_tuple(const Tuple& tuple);
+
+  kafka::Broker& broker_;
+  Config config_;
+  int in_;
+  std::unique_ptr<kafka::Producer> producer_;
+};
+
+/// Element-wise transform; input port 0, output port 0.
+class FunctionOperator final : public Operator {
+ public:
+  /// fn(tuple, emit): call emit zero or more times.
+  using Fn = std::function<void(const Tuple&, const std::function<void(Tuple)>&)>;
+
+  explicit FunctionOperator(Fn fn);
+
+  int input_port() const noexcept { return in_; }
+  int output_port() const noexcept { return out_; }
+
+ private:
+  Fn fn_;
+  int in_;
+  int out_;
+};
+
+/// Convenience factories.
+OperatorFactory kafka_input_factory(kafka::Broker& broker, std::string topic);
+OperatorFactory kafka_output_factory(kafka::Broker& broker,
+                                     KafkaStringOutput::Config config);
+OperatorFactory map_string_factory(
+    std::function<std::string(const std::string&)> fn);
+OperatorFactory filter_string_factory(
+    std::function<bool(const std::string&)> predicate);
+OperatorFactory flat_map_string_factory(
+    std::function<std::vector<std::string>(const std::string&)> fn);
+
+}  // namespace dsps::apex

@@ -1,0 +1,171 @@
+// Coders: how Beam-sim materializes elements to bytes at runner-chosen
+// boundaries. The Apex runner encodes the *full windowed value* (value +
+// timestamp + windows + pane) on every inter-container hop, which is real
+// serialization work per element per stage.
+#pragma once
+
+#include <any>
+#include <memory>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "beam/element.hpp"
+
+namespace dsps::beam {
+
+/// Encodes/decodes the type-erased value payload of an Element.
+class Coder {
+ public:
+  virtual ~Coder() = default;
+  virtual void encode(const std::any& value, BinaryWriter& out) const = 0;
+  virtual std::any decode(BinaryReader& in) const = 0;
+  virtual std::string name() const = 0;
+};
+
+using CoderPtr = std::shared_ptr<const Coder>;
+
+class StringUtf8Coder final : public Coder {
+ public:
+  void encode(const std::any& value, BinaryWriter& out) const override {
+    out.write_string(std::any_cast<const std::string&>(value));
+  }
+  std::any decode(BinaryReader& in) const override {
+    return in.read_string();
+  }
+  std::string name() const override { return "StringUtf8Coder"; }
+};
+
+class VarIntCoder final : public Coder {
+ public:
+  void encode(const std::any& value, BinaryWriter& out) const override {
+    out.write_i64(std::any_cast<std::int64_t>(value));
+  }
+  std::any decode(BinaryReader& in) const override { return in.read_i64(); }
+  std::string name() const override { return "VarIntCoder"; }
+};
+
+class DoubleCoder final : public Coder {
+ public:
+  void encode(const std::any& value, BinaryWriter& out) const override {
+    const double v = std::any_cast<double>(value);
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    out.write_u64(bits);
+  }
+  std::any decode(BinaryReader& in) const override {
+    const std::uint64_t bits = in.read_u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string name() const override { return "DoubleCoder"; }
+};
+
+/// Coder for KV<K, V> given the component coders and the concrete types.
+template <typename K, typename V>
+class KvCoder final : public Coder {
+ public:
+  KvCoder(CoderPtr key_coder, CoderPtr value_coder)
+      : key_coder_(std::move(key_coder)),
+        value_coder_(std::move(value_coder)) {}
+
+  void encode(const std::any& value, BinaryWriter& out) const override {
+    const auto& kv = std::any_cast<const KV<K, V>&>(value);
+    key_coder_->encode(std::any{kv.key}, out);
+    value_coder_->encode(std::any{kv.value}, out);
+  }
+  std::any decode(BinaryReader& in) const override {
+    KV<K, V> kv;
+    kv.key = std::any_cast<K>(key_coder_->decode(in));
+    kv.value = std::any_cast<V>(value_coder_->decode(in));
+    return kv;
+  }
+  std::string name() const override {
+    return "KvCoder(" + key_coder_->name() + ", " + value_coder_->name() +
+           ")";
+  }
+
+ private:
+  CoderPtr key_coder_;
+  CoderPtr value_coder_;
+};
+
+/// Compile-time coder lookup. Specialize for custom element types used with
+/// runners that serialize (the Apex runner).
+template <typename T>
+struct CoderTraits;
+
+template <>
+struct CoderTraits<std::string> {
+  static CoderPtr of() { return std::make_shared<StringUtf8Coder>(); }
+};
+
+template <>
+struct CoderTraits<std::int64_t> {
+  static CoderPtr of() { return std::make_shared<VarIntCoder>(); }
+};
+
+template <>
+struct CoderTraits<double> {
+  static CoderPtr of() { return std::make_shared<DoubleCoder>(); }
+};
+
+template <typename K, typename V>
+struct CoderTraits<KV<K, V>> {
+  static CoderPtr of() {
+    return std::make_shared<KvCoder<K, V>>(CoderTraits<K>::of(),
+                                           CoderTraits<V>::of());
+  }
+};
+
+/// Serializes the full windowed value: payload + timestamp + windows + pane.
+class WindowedValueCoder {
+ public:
+  explicit WindowedValueCoder(CoderPtr value_coder)
+      : value_coder_(std::move(value_coder)) {}
+
+  Bytes encode(const Element& element) const {
+    Bytes out;
+    BinaryWriter writer(out);
+    writer.write_i64(element.timestamp);
+    writer.write_u32(static_cast<std::uint32_t>(element.windows.size()));
+    for (const auto& window : element.windows) {
+      writer.write_i64(window.start);
+      writer.write_i64(window.end);
+    }
+    writer.write_u8(static_cast<std::uint8_t>((element.pane.is_first << 1) |
+                                              element.pane.is_last));
+    writer.write_i64(element.pane.index);
+    value_coder_->encode(element.value, writer);
+    return out;
+  }
+
+  Element decode(const Bytes& bytes) const {
+    BinaryReader reader(bytes);
+    Element element;
+    element.timestamp = reader.read_i64();
+    const std::uint32_t window_count = reader.read_u32();
+    element.windows.clear();
+    for (std::uint32_t w = 0; w < window_count; ++w) {
+      BoundedWindow window;
+      window.start = reader.read_i64();
+      window.end = reader.read_i64();
+      element.windows.push_back(window);
+    }
+    const std::uint8_t pane_bits = reader.read_u8();
+    element.pane.is_first = (pane_bits & 2) != 0;
+    element.pane.is_last = (pane_bits & 1) != 0;
+    element.pane.index = reader.read_i64();
+    element.value = value_coder_->decode(reader);
+    return element;
+  }
+
+  const CoderPtr& value_coder() const noexcept { return value_coder_; }
+
+ private:
+  CoderPtr value_coder_;
+};
+
+}  // namespace dsps::beam

@@ -1,0 +1,77 @@
+// The Beam-sim runtime element: a type-erased value plus the windowing
+// metadata (timestamp, window set, pane) the Dataflow model attaches to
+// every record. Carrying this envelope through every translated transform —
+// boxing on entry, unboxing per stage, copying the window set — is the
+// structural per-element cost of the abstraction layer the paper measures.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace dsps::beam {
+
+/// Event-time window [start, end). The global window spans all time.
+struct BoundedWindow {
+  Timestamp start = std::numeric_limits<Timestamp>::min();
+  Timestamp end = std::numeric_limits<Timestamp>::max();
+
+  friend bool operator==(const BoundedWindow&,
+                         const BoundedWindow&) = default;
+};
+
+inline BoundedWindow global_window() { return {}; }
+
+/// Which firing of a trigger produced this element.
+struct PaneInfo {
+  bool is_first = true;
+  bool is_last = true;
+  std::int64_t index = 0;
+};
+
+/// One windowed value.
+struct Element {
+  std::any value;
+  Timestamp timestamp = std::numeric_limits<Timestamp>::min();
+  std::vector<BoundedWindow> windows{global_window()};
+  PaneInfo pane{};
+};
+
+template <typename T>
+Element make_element(T value,
+                     Timestamp timestamp =
+                         std::numeric_limits<Timestamp>::min()) {
+  Element element;
+  element.value = std::move(value);
+  element.timestamp = timestamp;
+  return element;
+}
+
+template <typename T>
+const T& element_value(const Element& element) {
+  return std::any_cast<const T&>(element.value);
+}
+
+/// Key/value pair, the currency of GroupByKey and stateful ParDo.
+template <typename K, typename V>
+struct KV {
+  using key_t = K;
+  using value_t = V;
+
+  K key;
+  V value;
+
+  friend bool operator==(const KV&, const KV&) = default;
+};
+
+template <typename T>
+concept KvElement = requires {
+  typename T::key_t;
+  typename T::value_t;
+};
+
+}  // namespace dsps::beam

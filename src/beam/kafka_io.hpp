@@ -1,0 +1,117 @@
+// KafkaIO for Beam-sim, expanding exactly the way the Fig. 13 execution
+// plan shows:
+//
+//   read():  Read source ("PTransformTranslation.UnknownRawPTransform")
+//            + a "Flat Map" ParDo unwrapping raw consumer records into
+//              KafkaRecord elements
+//   without_metadata(): RawParDo KafkaRecord -> KV<key, value>
+//   (Values<...>::create() then drops the keys — beam/pipeline.hpp)
+//   write(): RawParDo value -> ProducerRecordStub
+//            + RawParDo KafkaWriter (produces to the broker; the writer
+//              flushes at *bundle* boundaries, so the runner's bundle policy
+//              decides how often the producer pays a network round trip)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "beam/coders.hpp"
+#include "beam/pipeline.hpp"
+#include "kafka/broker.hpp"
+#include "kafka/consumer.hpp"
+#include "kafka/producer.hpp"
+
+namespace dsps::beam {
+
+/// A consumed record with its metadata (KafkaIO.read()'s element type).
+struct KafkaRecord {
+  std::string topic;
+  int partition = 0;
+  std::int64_t offset = 0;
+  Timestamp timestamp = 0;
+  std::string key;
+  std::string value;
+
+  friend bool operator==(const KafkaRecord&, const KafkaRecord&) = default;
+};
+
+/// What ToProducerRecord emits and KafkaWriter consumes.
+struct ProducerRecordStub {
+  std::string key;
+  std::string value;
+
+  friend bool operator==(const ProducerRecordStub&,
+                         const ProducerRecordStub&) = default;
+};
+
+template <>
+struct CoderTraits<KafkaRecord> {
+  static CoderPtr of();
+};
+
+template <>
+struct CoderTraits<ProducerRecordStub> {
+  static CoderPtr of();
+};
+
+struct KafkaReadConfig {
+  std::string topic;
+  bool bounded = true;
+};
+
+struct KafkaWriteConfig {
+  std::string topic;
+  int partition = 0;
+  kafka::Acks acks = kafka::Acks::kLeader;
+  /// Producer-side buffering; flushes also happen at bundle boundaries.
+  std::size_t batch_size = 500;
+};
+
+/// Composite read transform: apply to a Pipeline.
+class KafkaReadTransform {
+ public:
+  KafkaReadTransform(kafka::Broker& broker, KafkaReadConfig config)
+      : broker_(&broker), config_(std::move(config)) {}
+
+  PCollection<KafkaRecord> expand(Pipeline& pipeline) const;
+
+ private:
+  kafka::Broker* broker_;
+  KafkaReadConfig config_;
+};
+
+/// KafkaRecord -> KV<key, value>: drops the Kafka metadata (§III-C3).
+class WithoutMetadataTransform {
+ public:
+  PCollection<KV<std::string, std::string>> expand(
+      const PCollection<KafkaRecord>& input) const;
+};
+
+/// Composite write transform: apply to a PCollection<std::string>.
+class KafkaWriteTransform {
+ public:
+  KafkaWriteTransform(kafka::Broker& broker, KafkaWriteConfig config)
+      : broker_(&broker), config_(std::move(config)) {}
+
+  /// Returns the terminal writer PCollection (carries no useful elements).
+  PCollection<std::int64_t> expand(const PCollection<std::string>& input) const;
+
+ private:
+  kafka::Broker* broker_;
+  KafkaWriteConfig config_;
+};
+
+struct KafkaIO {
+  static KafkaReadTransform read(kafka::Broker& broker,
+                                 KafkaReadConfig config) {
+    return KafkaReadTransform(broker, std::move(config));
+  }
+  static WithoutMetadataTransform without_metadata() { return {}; }
+  static KafkaWriteTransform write(kafka::Broker& broker,
+                                   KafkaWriteConfig config) {
+    return KafkaWriteTransform(broker, std::move(config));
+  }
+};
+
+}  // namespace dsps::beam

@@ -1,0 +1,33 @@
+// PipelineRunner interface and run result (§II-A: engine-specific runners
+// translate the Beam program to the target runtime).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace dsps::beam {
+
+class Pipeline;
+
+enum class PipelineState { kDone, kFailed };
+
+struct PipelineResult {
+  PipelineState state = PipelineState::kDone;
+  double duration_ms = 0.0;
+  /// Elements that entered each transform, by transform name (best effort).
+  std::map<std::string, std::uint64_t> elements_in;
+  /// The engine's execution plan for the translated job, when available.
+  std::string execution_plan;
+};
+
+class PipelineRunner {
+ public:
+  virtual ~PipelineRunner() = default;
+  virtual Result<PipelineResult> run(const Pipeline& pipeline) = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace dsps::beam

@@ -1,0 +1,39 @@
+// SparkRunner: translates the Beam graph onto Spark-sim micro-batches.
+//
+// Translation style (matching the real runner as of Beam 2.3):
+//  * stateful ParDo is rejected — the reason the paper had to exclude the
+//    stateful StreamBench queries (§III-B);
+//  * the source is followed by a bundle-redistribution repartition, so at
+//    parallelism 2 every batch pays a shuffle that trivial queries cannot
+//    amortize — the observed P2-slower-than-P1 anomaly (§III-C1);
+//  * each transform becomes a mapPartitions stage over boxed elements, one
+//    bundle per partition per batch;
+//  * GroupByKey hash-partitions by key and groups within the micro-batch.
+#pragma once
+
+#include <cstdint>
+
+#include "beam/pipeline.hpp"
+#include "beam/runner.hpp"
+#include "kafka/broker.hpp"
+
+namespace dsps::beam {
+
+struct SparkRunnerOptions {
+  /// spark.default.parallelism (§III-A2).
+  int parallelism = 1;
+  std::int64_t batch_interval_ms = 50;
+};
+
+class SparkRunner final : public PipelineRunner {
+ public:
+  explicit SparkRunner(SparkRunnerOptions options = {}) : options_(options) {}
+
+  Result<PipelineResult> run(const Pipeline& pipeline) override;
+  std::string name() const override { return "SparkRunner"; }
+
+ private:
+  SparkRunnerOptions options_;
+};
+
+}  // namespace dsps::beam

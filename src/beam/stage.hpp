@@ -1,0 +1,179 @@
+// Stage executors: the runner-facing, type-erased execution form of each
+// transform. Runners instantiate one executor per translated operator
+// instance and pump windowed Elements through it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "beam/dofn.hpp"
+#include "beam/element.hpp"
+
+namespace dsps::beam {
+
+using Emit = std::function<void(Element&&)>;
+
+class StageExecutor {
+ public:
+  virtual ~StageExecutor() = default;
+  virtual void start() {}
+  virtual void process(const Element& element, const Emit& emit) = 0;
+  /// Bundle boundary: the runner decides how often bundles end. A DoFn that
+  /// buffers (e.g. the Kafka writer) flushes here — so a runner with tiny
+  /// bundles pays per-element flush costs (the Apex runner, §III-C3).
+  virtual void bundle_boundary(const Emit& /*emit*/) {}
+  /// Called once after the last element (flush groupings, finish bundles).
+  virtual void finish(const Emit& emit) = 0;
+};
+
+using StageFactory = std::function<std::unique_ptr<StageExecutor>()>;
+
+/// Bounded source reader; runners pull until advance() returns false.
+class SourceReader {
+ public:
+  virtual ~SourceReader() = default;
+  virtual void open() {}
+  /// Fills `out` and returns true, or returns false at end of input.
+  virtual bool advance(Element& out) = 0;
+  virtual void close() {}
+};
+
+/// shard / num_shards support parallel sources.
+using ReaderFactory =
+    std::function<std::unique_ptr<SourceReader>(int shard, int num_shards)>;
+
+// ---------------------------------------------------------------------------
+
+template <typename In, typename Out>
+class ParDoExecutor final : public StageExecutor {
+ public:
+  explicit ParDoExecutor(DoFnPtr<In, Out> fn) : fn_(std::move(fn)) {
+    // Resource-owning DoFns hand every executor instance its own copy.
+    if (auto cloned = fn_->clone()) fn_ = std::move(cloned);
+  }
+
+  void start() override {
+    fn_->setup();
+    fn_->start_bundle();
+  }
+
+  void process(const Element& element, const Emit& emit) override {
+    // The abstraction's per-element envelope: unbox the value, then rebox
+    // each output together with a copy of the windowing metadata.
+    const In& value = element_value<In>(element);
+    typename DoFn<In, Out>::ProcessContext context(
+        value, element, [&element, &emit](Out out, Timestamp timestamp) {
+          Element produced;
+          produced.value = std::move(out);
+          produced.timestamp = timestamp;
+          produced.windows = element.windows;
+          produced.pane = element.pane;
+          emit(std::move(produced));
+        });
+    fn_->process(context);
+  }
+
+  void bundle_boundary(const Emit& emit) override {
+    fn_->finish_bundle([&emit](Out out) {
+      Element produced;
+      produced.value = std::move(out);
+      emit(std::move(produced));
+    });
+    fn_->start_bundle();
+  }
+
+  void finish(const Emit& emit) override {
+    fn_->finish_bundle([&emit](Out out) {
+      Element produced;
+      produced.value = std::move(out);
+      emit(std::move(produced));
+    });
+    fn_->teardown();
+  }
+
+  const DoFnPtr<In, Out>& fn() const noexcept { return fn_; }
+
+ private:
+  DoFnPtr<In, Out> fn_;
+};
+
+/// GroupByKey: per (window, key) accumulation; the default trigger on
+/// bounded data fires once at end of input, per window.
+template <typename K, typename V>
+class GroupByKeyExecutor final : public StageExecutor {
+ public:
+  void process(const Element& element, const Emit& /*emit*/) override {
+    const auto& kv = element_value<KV<K, V>>(element);
+    for (const auto& window : element.windows) {
+      groups_[{window.start, window.end}][kv.key].push_back(kv.value);
+    }
+  }
+
+  void finish(const Emit& emit) override {
+    for (auto& [window_key, by_key] : groups_) {
+      const BoundedWindow window{window_key.first, window_key.second};
+      for (auto& [key, values] : by_key) {
+        Element out;
+        out.value = KV<K, std::vector<V>>{key, std::move(values)};
+        out.timestamp = window.end == std::numeric_limits<Timestamp>::max()
+                            ? window.end
+                            : window.end - 1;
+        out.windows = {window};
+        out.pane = PaneInfo{.is_first = true, .is_last = true, .index = 0};
+        emit(std::move(out));
+      }
+    }
+    groups_.clear();
+  }
+
+ private:
+  std::map<std::pair<Timestamp, Timestamp>,
+           std::unordered_map<K, std::vector<V>>>
+      groups_;
+};
+
+/// Assigns windows from the element timestamp.
+using WindowFn = std::function<std::vector<BoundedWindow>(Timestamp)>;
+
+class WindowIntoExecutor final : public StageExecutor {
+ public:
+  explicit WindowIntoExecutor(WindowFn fn) : fn_(std::move(fn)) {}
+
+  void process(const Element& element, const Emit& emit) override {
+    Element out = element;
+    out.windows = fn_(element.timestamp);
+    emit(std::move(out));
+  }
+  void finish(const Emit& /*emit*/) override {}
+
+ private:
+  WindowFn fn_;
+};
+
+/// Fixed (tumbling) event-time windows of the given size.
+inline WindowFn fixed_windows(std::int64_t size_ms) {
+  return [size_ms](Timestamp timestamp) {
+    Timestamp start = timestamp - (timestamp % size_ms);
+    if (timestamp < 0 && timestamp % size_ms != 0) start -= size_ms;
+    return std::vector<BoundedWindow>{{start, start + size_ms}};
+  };
+}
+
+/// Hash of the key of a KV element, for keyed routing at GBK boundaries.
+template <typename K, typename V>
+std::uint64_t kv_key_hash(const Element& element) {
+  const auto& kv = element_value<KV<K, V>>(element);
+  if constexpr (std::is_integral_v<K>) {
+    return static_cast<std::uint64_t>(kv.key) * 0x9E3779B97F4A7C15ULL;
+  } else {
+    return fnv1a(std::string_view{kv.key});
+  }
+}
+
+}  // namespace dsps::beam

@@ -1,0 +1,295 @@
+#include "beam/streamsql.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include <thread>
+#include "beam/kafka_io.hpp"
+#include "workload/streambench.hpp"
+
+namespace dsps::beam::sql {
+
+namespace {
+
+// --- tokenizer ---------------------------------------------------------------
+
+enum class TokenKind { kWord, kNumber, kString, kSymbol, kEnd };
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Result<std::vector<Token>> tokenize() {
+    std::vector<Token> tokens;
+    std::size_t i = 0;
+    while (i < input_.size()) {
+      const char c = input_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t start = i;
+        while (i < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[i])) ||
+                input_[i] == '_' || input_[i] == '-')) {
+          ++i;
+        }
+        tokens.push_back(
+            Token{TokenKind::kWord, input_.substr(start, i - start)});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::size_t start = i;
+        while (i < input_.size() &&
+               (std::isdigit(static_cast<unsigned char>(input_[i])) ||
+                input_[i] == '.')) {
+          ++i;
+        }
+        tokens.push_back(
+            Token{TokenKind::kNumber, input_.substr(start, i - start)});
+        continue;
+      }
+      if (c == '\'') {
+        const std::size_t close = input_.find('\'', i + 1);
+        if (close == std::string::npos) {
+          return Status::invalid_argument("unterminated string literal");
+        }
+        tokens.push_back(
+            Token{TokenKind::kString, input_.substr(i + 1, close - i - 1)});
+        i = close + 1;
+        continue;
+      }
+      if (c == '*' || c == '(' || c == ')' || c == '%' || c == ';') {
+        tokens.push_back(Token{TokenKind::kSymbol, std::string(1, c)});
+        ++i;
+        continue;
+      }
+      return Status::invalid_argument(std::string("unexpected character '") +
+                                      c + "'");
+    }
+    tokens.push_back(Token{TokenKind::kEnd, ""});
+    return tokens;
+  }
+
+ private:
+  const std::string& input_;
+};
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return s;
+}
+
+// --- parser -------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<StreamQuery> parse() {
+    StreamQuery query;
+    if (Status s = expect_keyword("SELECT"); !s.is_ok()) return s;
+
+    // projection
+    if (peek().kind == TokenKind::kSymbol && peek().text == "*") {
+      advance();
+    } else if (is_keyword("COLUMN")) {
+      advance();
+      if (Status s = expect_symbol("("); !s.is_ok()) return s;
+      if (peek().kind != TokenKind::kNumber) {
+        return Status::invalid_argument("COLUMN expects a number");
+      }
+      query.project_column = std::stoi(advance().text);
+      if (Status s = expect_symbol(")"); !s.is_ok()) return s;
+    } else {
+      return Status::invalid_argument(
+          "projection must be '*' or COLUMN(n), got '" + peek().text + "'");
+    }
+
+    if (Status s = expect_keyword("FROM"); !s.is_ok()) return s;
+    if (peek().kind != TokenKind::kWord) {
+      return Status::invalid_argument("FROM expects a topic name");
+    }
+    query.from_topic = advance().text;
+
+    // optional clauses in any sensible order: WHERE, SAMPLE, INTO
+    while (peek().kind != TokenKind::kEnd) {
+      if (peek().kind == TokenKind::kSymbol && peek().text == ";") {
+        advance();
+        break;
+      }
+      if (is_keyword("WHERE")) {
+        advance();
+        if (query.contains_needle.has_value()) {
+          return Status::invalid_argument("duplicate WHERE clause");
+        }
+        if (is_keyword("NOT")) {
+          advance();
+          query.negate_contains = true;
+        }
+        if (Status s = expect_keyword("CONTAINS"); !s.is_ok()) return s;
+        if (Status s = expect_symbol("("); !s.is_ok()) return s;
+        if (peek().kind != TokenKind::kString) {
+          return Status::invalid_argument(
+              "CONTAINS expects a quoted string");
+        }
+        query.contains_needle = advance().text;
+        if (Status s = expect_symbol(")"); !s.is_ok()) return s;
+        continue;
+      }
+      if (is_keyword("SAMPLE")) {
+        advance();
+        if (peek().kind != TokenKind::kNumber) {
+          return Status::invalid_argument("SAMPLE expects a percentage");
+        }
+        const double percent = std::stod(advance().text);
+        if (percent <= 0.0 || percent > 100.0) {
+          return Status::invalid_argument("SAMPLE must be in (0, 100]");
+        }
+        query.sample_fraction = percent / 100.0;
+        if (Status s = expect_symbol("%"); !s.is_ok()) return s;
+        continue;
+      }
+      if (is_keyword("INTO")) {
+        advance();
+        if (peek().kind != TokenKind::kWord) {
+          return Status::invalid_argument("INTO expects a topic name");
+        }
+        query.into_topic = advance().text;
+        continue;
+      }
+      return Status::invalid_argument("unexpected token '" + peek().text +
+                                      "'");
+    }
+    if (peek().kind != TokenKind::kEnd) {
+      return Status::invalid_argument("trailing input after ';'");
+    }
+    return query;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[index_]; }
+  Token advance() { return tokens_[index_++]; }
+  bool is_keyword(const char* keyword) const {
+    return peek().kind == TokenKind::kWord && upper(peek().text) == keyword;
+  }
+  Status expect_keyword(const char* keyword) {
+    if (!is_keyword(keyword)) {
+      return Status::invalid_argument(std::string("expected ") + keyword +
+                                      ", got '" + peek().text + "'");
+    }
+    advance();
+    return Status::ok();
+  }
+  Status expect_symbol(const char* symbol) {
+    if (peek().kind != TokenKind::kSymbol || peek().text != symbol) {
+      return Status::invalid_argument(std::string("expected '") + symbol +
+                                      "', got '" + peek().text + "'");
+    }
+    advance();
+    return Status::ok();
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<StreamQuery> parse(const std::string& text) {
+  auto tokens = Lexer(text).tokenize();
+  if (!tokens.is_ok()) return tokens.status();
+  return Parser(std::move(tokens).value()).parse();
+}
+
+std::string to_sql(const StreamQuery& query) {
+  std::string sql = "SELECT ";
+  sql += query.project_column.has_value()
+             ? "COLUMN(" + std::to_string(*query.project_column) + ")"
+             : "*";
+  sql += " FROM " + query.from_topic;
+  if (query.contains_needle.has_value()) {
+    sql += " WHERE ";
+    if (query.negate_contains) sql += "NOT ";
+    sql += "CONTAINS('" + *query.contains_needle + "')";
+  }
+  if (query.sample_fraction.has_value()) {
+    sql += " SAMPLE " + format_double(*query.sample_fraction * 100.0, 0) +
+           "%";
+  }
+  if (!query.into_topic.empty()) sql += " INTO " + query.into_topic;
+  return sql;
+}
+
+Status compile(const StreamQuery& query, kafka::Broker& broker,
+               Pipeline& pipeline, const CompileOptions& options) {
+  const std::string output_topic =
+      query.into_topic.empty() ? options.default_output_topic
+                               : query.into_topic;
+  if (!broker.topic_exists(query.from_topic)) {
+    return Status::not_found("FROM topic missing: " + query.from_topic);
+  }
+  if (!broker.topic_exists(output_topic)) {
+    return Status::not_found("INTO topic missing: " + output_topic);
+  }
+
+  auto values =
+      pipeline
+          .apply(KafkaIO::read(broker,
+                               KafkaReadConfig{.topic = query.from_topic}))
+          .apply(KafkaIO::without_metadata())
+          .apply(Values<std::string>::create<std::string>());
+
+  if (query.contains_needle.has_value()) {
+    values = values.apply(Filter<std::string>::by(
+        [needle = *query.contains_needle,
+         negate = query.negate_contains](const std::string& line) {
+          return contains(line, needle) != negate;
+        },
+        "Where/Contains"));
+  }
+  if (query.sample_fraction.has_value()) {
+    // Thread-local RNG: statistically correct under any runner parallelism.
+    values = values.apply(Filter<std::string>::by(
+        [fraction = *query.sample_fraction,
+         seed = options.seed](const std::string&) {
+          thread_local Xoshiro256 rng(
+              seed ^ std::hash<std::thread::id>{}(std::this_thread::get_id()));
+          return rng.next_double() < fraction;
+        },
+        "Sample"));
+  }
+  if (query.project_column.has_value()) {
+    values = values.apply(MapElements<std::string, std::string>::via(
+        [column = *query.project_column](const std::string& line) {
+          const auto fields = split_views(line, '\t');
+          const auto index = static_cast<std::size_t>(column);
+          return index < fields.size() ? std::string(fields[index])
+                                       : std::string{};
+        },
+        "Project/Column"));
+  }
+  values.apply(
+      KafkaIO::write(broker, KafkaWriteConfig{.topic = output_topic}));
+  return Status::ok();
+}
+
+Status compile(const std::string& text, kafka::Broker& broker,
+               Pipeline& pipeline, const CompileOptions& options) {
+  auto query = parse(text);
+  if (!query.is_ok()) return query.status();
+  return compile(query.value(), broker, pipeline, options);
+}
+
+}  // namespace dsps::beam::sql

@@ -1,0 +1,64 @@
+// StreamSQL (extension): a miniature SQL-for-streams dialect compiled to
+// Beam-sim pipelines.
+//
+// The paper's related work (§IV) surveys the other road to portability:
+// SQL-based stream languages (CQL/STREAM, Apache Calcite's STREAM
+// extensions, KSQL, SamzaSQL). This module demonstrates that road on top
+// of our stack: a declarative query compiles onto the same abstraction
+// layer and therefore runs on every engine runner.
+//
+// Grammar (case-insensitive keywords, single-quoted string literals):
+//
+//   query     := SELECT projection FROM ident
+//                [WHERE predicate] [SAMPLE number '%'] [INTO ident]
+//   projection:= '*' | COLUMN '(' number ')'
+//   predicate := [NOT] CONTAINS '(' string ')'
+//
+// Examples:
+//   SELECT * FROM input WHERE CONTAINS('test') INTO output
+//   SELECT COLUMN(0) FROM input SAMPLE 40% INTO output
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/status.hpp"
+#include "beam/pipeline.hpp"
+#include "kafka/broker.hpp"
+
+namespace dsps::beam::sql {
+
+/// The compiled logical plan of a StreamSQL query.
+struct StreamQuery {
+  std::string from_topic;
+  std::string into_topic;          // empty = caller supplies the sink topic
+  std::optional<int> project_column;  // nullopt = SELECT *
+  std::optional<std::string> contains_needle;
+  bool negate_contains = false;
+  std::optional<double> sample_fraction;  // SAMPLE p% -> p/100
+};
+
+/// Parses the dialect above. Returns a descriptive error on bad syntax.
+Result<StreamQuery> parse(const std::string& text);
+
+/// Renders the plan back as canonical SQL (round-trip debugging aid).
+std::string to_sql(const StreamQuery& query);
+
+struct CompileOptions {
+  /// Seed for SAMPLE's randomness.
+  std::uint64_t seed = 42;
+  /// Used when the query has no INTO clause.
+  std::string default_output_topic = "output";
+};
+
+/// Builds the Beam pipeline implementing `query` against `broker` topics.
+/// The resulting pipeline runs on any runner (that is the point).
+Status compile(const StreamQuery& query, kafka::Broker& broker,
+               Pipeline& pipeline, const CompileOptions& options = {});
+
+/// parse + compile in one step.
+Status compile(const std::string& text, kafka::Broker& broker,
+               Pipeline& pipeline, const CompileOptions& options = {});
+
+}  // namespace dsps::beam::sql

@@ -1,0 +1,200 @@
+// Extended windowing strategies beyond fixed windows: sliding windows,
+// session windows (with merging), and count-based triggers for GroupByKey.
+// These cover the Dataflow-model features (§II-A: "one must use an
+// aggregation trigger or non-global windowing in order to enable the
+// grouping to be applied to a finite data set") that the paper's stateless
+// queries did not exercise — and that its future-work section points at.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "beam/stage.hpp"
+
+namespace dsps::beam {
+
+/// Sliding event-time windows: every element lands in size/period windows.
+/// E.g. size=60s, period=30s: each timestamp belongs to 2 windows.
+inline WindowFn sliding_windows(std::int64_t size, std::int64_t period) {
+  require(size > 0 && period > 0 && period <= size,
+          "sliding windows need 0 < period <= size");
+  return [size, period](Timestamp timestamp) {
+    std::vector<BoundedWindow> windows;
+    // The last window starting at or before `timestamp`.
+    Timestamp start = timestamp - (timestamp % period);
+    if (timestamp < 0 && timestamp % period != 0) start -= period;
+    // Walk back while the window still contains the timestamp.
+    for (Timestamp s = start; s > timestamp - size; s -= period) {
+      windows.push_back(BoundedWindow{s, s + size});
+    }
+    std::reverse(windows.begin(), windows.end());
+    return windows;
+  };
+}
+
+/// Session windows: each element opens a gap-sized proto-window; the
+/// session GroupByKey merges overlapping windows per key.
+inline WindowFn session_windows(std::int64_t gap) {
+  require(gap > 0, "session gap must be positive");
+  return [gap](Timestamp timestamp) {
+    return std::vector<BoundedWindow>{{timestamp, timestamp + gap}};
+  };
+}
+
+/// GroupByKey with session-window merging: overlapping proto-windows of the
+/// same key merge into one session before emission.
+template <typename K, typename V>
+class SessionGroupByKeyExecutor final : public StageExecutor {
+ public:
+  void process(const Element& element, const Emit& /*emit*/) override {
+    const auto& kv = element_value<KV<K, V>>(element);
+    for (const auto& window : element.windows) {
+      per_key_[kv.key].push_back({window, kv.value});
+    }
+  }
+
+  void finish(const Emit& emit) override {
+    for (auto& [key, entries] : per_key_) {
+      std::sort(entries.begin(), entries.end(),
+                [](const Entry& a, const Entry& b) {
+                  return a.window.start < b.window.start;
+                });
+      std::size_t i = 0;
+      while (i < entries.size()) {
+        BoundedWindow session = entries[i].window;
+        std::vector<V> values{entries[i].value};
+        std::size_t j = i + 1;
+        while (j < entries.size() &&
+               entries[j].window.start <= session.end) {
+          session.end = std::max(session.end, entries[j].window.end);
+          values.push_back(entries[j].value);
+          ++j;
+        }
+        Element out;
+        out.value = KV<K, std::vector<V>>{key, std::move(values)};
+        out.timestamp = session.end - 1;
+        out.windows = {session};
+        emit(std::move(out));
+        i = j;
+      }
+    }
+    per_key_.clear();
+  }
+
+ private:
+  struct Entry {
+    BoundedWindow window;
+    V value;
+  };
+  std::unordered_map<K, std::vector<Entry>> per_key_;
+};
+
+/// Session-merging GroupByKey transform (apply after
+/// WindowInto(session_windows(gap))).
+template <typename K, typename V>
+class SessionGroupByKey {
+ public:
+  PCollection<KV<K, std::vector<V>>> expand(
+      const PCollection<KV<K, V>>& input) const {
+    TransformNode node;
+    node.kind = TransformKind::kGroupByKey;
+    node.name = "SessionGroupByKey";
+    node.urn = urns::kGroupByKey;
+    node.inputs = {input.node_id()};
+    node.stage = [] {
+      return std::make_unique<SessionGroupByKeyExecutor<K, V>>();
+    };
+    node.key_hash = kv_key_hash<K, V>;
+    const int id = input.pipeline()->graph().add_node(std::move(node));
+    return PCollection<KV<K, std::vector<V>>>(input.pipeline(), id);
+  }
+};
+
+/// GroupByKey variant with an element-count trigger: fires a pane for a
+/// (key, window) every `count` elements (plus a final closing pane).
+/// Early panes carry is_last=false; the on-time pane carries is_last=true.
+template <typename K, typename V>
+class TriggeredGroupByKeyExecutor final : public StageExecutor {
+ public:
+  explicit TriggeredGroupByKeyExecutor(std::size_t count) : count_(count) {}
+
+  void process(const Element& element, const Emit& emit) override {
+    const auto& kv = element_value<KV<K, V>>(element);
+    for (const auto& window : element.windows) {
+      auto& cell = groups_[{window.start, window.end}][kv.key];
+      cell.values.push_back(kv.value);
+      if (cell.values.size() >= count_) {
+        fire(window, kv.key, cell, /*is_last=*/false, emit);
+      }
+    }
+  }
+
+  void finish(const Emit& emit) override {
+    for (auto& [window_key, by_key] : groups_) {
+      const BoundedWindow window{window_key.first, window_key.second};
+      for (auto& [key, cell] : by_key) {
+        if (!cell.values.empty() || cell.pane_index == 0) {
+          fire(window, key, cell, /*is_last=*/true, emit);
+        }
+      }
+    }
+    groups_.clear();
+  }
+
+ private:
+  struct Cell {
+    std::vector<V> values;
+    std::int64_t pane_index = 0;
+  };
+
+  void fire(const BoundedWindow& window, const K& key, Cell& cell,
+            bool is_last, const Emit& emit) {
+    Element out;
+    out.value = KV<K, std::vector<V>>{key, std::move(cell.values)};
+    cell.values.clear();
+    out.timestamp = window.end == std::numeric_limits<Timestamp>::max()
+                        ? window.end
+                        : window.end - 1;
+    out.windows = {window};
+    out.pane = PaneInfo{.is_first = cell.pane_index == 0,
+                        .is_last = is_last,
+                        .index = cell.pane_index};
+    ++cell.pane_index;
+    emit(std::move(out));
+  }
+
+  std::size_t count_;
+  std::map<std::pair<Timestamp, Timestamp>, std::unordered_map<K, Cell>>
+      groups_;
+};
+
+/// GroupByKey with an element-count trigger — the "aggregation trigger"
+/// §II-A names as the alternative to non-global windowing.
+template <typename K, typename V>
+class TriggeredGroupByKey {
+ public:
+  explicit TriggeredGroupByKey(std::size_t element_count)
+      : element_count_(element_count) {
+    require(element_count > 0, "trigger count must be positive");
+  }
+
+  PCollection<KV<K, std::vector<V>>> expand(
+      const PCollection<KV<K, V>>& input) const {
+    TransformNode node;
+    node.kind = TransformKind::kGroupByKey;
+    node.name = "GroupByKey.Triggered";
+    node.urn = urns::kGroupByKey;
+    node.inputs = {input.node_id()};
+    node.stage = [count = element_count_] {
+      return std::make_unique<TriggeredGroupByKeyExecutor<K, V>>(count);
+    };
+    node.key_hash = kv_key_hash<K, V>;
+    const int id = input.pipeline()->graph().add_node(std::move(node));
+    return PCollection<KV<K, std::vector<V>>>(input.pipeline(), id);
+  }
+
+ private:
+  std::size_t element_count_;
+};
+
+}  // namespace dsps::beam

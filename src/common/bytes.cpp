@@ -1,0 +1,14 @@
+#include "common/bytes.hpp"
+
+namespace dsps {
+
+std::uint64_t fnv1a(std::string_view data) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace dsps

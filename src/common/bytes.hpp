@@ -1,0 +1,136 @@
+// Byte buffers and binary serialization.
+//
+// Inter-container streams in Apex-sim (and the Beam Apex runner's per-hop
+// element transfer) serialize through these primitives, so the cost of
+// crossing a container boundary is real work, not a sleep.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace dsps {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends fixed-width little-endian integers and length-prefixed strings.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(Bytes& out) noexcept : out_(out) {}
+
+  void write_u8(std::uint8_t v) { out_.push_back(v); }
+
+  void write_u32(std::uint32_t v) { write_raw(&v, sizeof v); }
+
+  void write_u64(std::uint64_t v) { write_raw(&v, sizeof v); }
+
+  void write_i64(std::int64_t v) {
+    write_u64(static_cast<std::uint64_t>(v));
+  }
+
+  /// u32 length prefix followed by raw bytes.
+  void write_string(std::string_view s) {
+    write_u32(static_cast<std::uint32_t>(s.size()));
+    write_raw(s.data(), s.size());
+  }
+
+  void write_bytes(const Bytes& b) {
+    write_u32(static_cast<std::uint32_t>(b.size()));
+    write_raw(b.data(), b.size());
+  }
+
+ private:
+  void write_raw(const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out_.insert(out_.end(), p, p + size);
+  }
+
+  Bytes& out_;
+};
+
+/// Reads what BinaryWriter wrote. Bounds-checked; sets a failure flag
+/// instead of reading out of range.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const Bytes& in) noexcept : in_(in) {}
+
+  std::uint8_t read_u8() {
+    std::uint8_t v = 0;
+    read_raw(&v, sizeof v);
+    return v;
+  }
+
+  std::uint32_t read_u32() {
+    std::uint32_t v = 0;
+    read_raw(&v, sizeof v);
+    return v;
+  }
+
+  std::uint64_t read_u64() {
+    std::uint64_t v = 0;
+    read_raw(&v, sizeof v);
+    return v;
+  }
+
+  std::int64_t read_i64() { return static_cast<std::int64_t>(read_u64()); }
+
+  std::string read_string() {
+    const std::uint32_t size = read_u32();
+    if (failed_ || pos_ + size > in_.size()) {
+      failed_ = true;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(in_.data() + pos_), size);
+    pos_ += size;
+    return s;
+  }
+
+  Bytes read_bytes() {
+    const std::uint32_t size = read_u32();
+    if (failed_ || pos_ + size > in_.size()) {
+      failed_ = true;
+      return {};
+    }
+    Bytes b(in_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            in_.begin() + static_cast<std::ptrdiff_t>(pos_ + size));
+    pos_ += size;
+    return b;
+  }
+
+  bool failed() const noexcept { return failed_; }
+  bool exhausted() const noexcept { return pos_ == in_.size(); }
+  std::size_t position() const noexcept { return pos_; }
+
+ private:
+  void read_raw(void* dst, std::size_t size) {
+    if (failed_ || pos_ + size > in_.size()) {
+      failed_ = true;
+      std::memset(dst, 0, size);
+      return;
+    }
+    std::memcpy(dst, in_.data() + pos_, size);
+    pos_ += size;
+  }
+
+  const Bytes& in_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// FNV-1a 64-bit hash; used for key partitioning in shuffles and GroupByKey.
+std::uint64_t fnv1a(std::string_view data) noexcept;
+
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string to_string(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace dsps

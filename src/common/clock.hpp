@@ -1,0 +1,59 @@
+// Clocks and stopwatches.
+//
+// MiniKafka stamps records with wall-clock milliseconds (LogAppendTime);
+// the harness measures elapsed intervals with the steady clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace dsps {
+
+/// Broker/event timestamps. Kafka stamps in milliseconds; MiniKafka stamps
+/// in MICROSECONDS since the Unix epoch because the reproduction runs are
+/// time-scaled (20k records instead of 1M) and millisecond resolution would
+/// swamp the fast native runs with quantization noise. The measurement
+/// methodology (difference of broker append timestamps, §III-A3) is
+/// unchanged; only the unit is finer.
+using Timestamp = std::int64_t;
+
+inline Timestamp wall_clock_now() noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Converts a broker timestamp difference to seconds.
+inline double timestamp_delta_seconds(Timestamp delta) noexcept {
+  return static_cast<double>(delta) / 1e6;
+}
+
+/// Microseconds on the monotonic clock — interval measurements only.
+inline std::int64_t steady_clock_us() noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Measures elapsed time on the steady clock.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_us_(steady_clock_us()) {}
+
+  void reset() noexcept { start_us_ = steady_clock_us(); }
+
+  std::int64_t elapsed_us() const noexcept {
+    return steady_clock_us() - start_us_;
+  }
+  double elapsed_ms() const noexcept {
+    return static_cast<double>(elapsed_us()) / 1e3;
+  }
+  double elapsed_seconds() const noexcept {
+    return static_cast<double>(elapsed_us()) / 1e6;
+  }
+
+ private:
+  std::int64_t start_us_;
+};
+
+}  // namespace dsps

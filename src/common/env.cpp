@@ -1,0 +1,43 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace dsps {
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  return value;
+}
+
+std::int64_t env_i64(const char* name, std::int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0') return fallback;
+  return parsed;
+}
+
+bool env_flag(const char* name) {
+  const std::string v = env_string(name, "");
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+BenchScale resolve_bench_scale() {
+  BenchScale scale;
+  scale.full = env_flag("STREAMSHIM_FULL");
+  if (scale.full) {
+    scale.records = 1'000'001;  // the paper's AOL record count
+    scale.runs = 10;            // the paper's run count
+  }
+  scale.records = static_cast<std::uint64_t>(
+      env_i64("STREAMSHIM_RECORDS", static_cast<std::int64_t>(scale.records)));
+  scale.runs = static_cast<int>(env_i64("STREAMSHIM_RUNS", scale.runs));
+  scale.seed = static_cast<std::uint64_t>(env_i64("STREAMSHIM_SEED", 42));
+  if (scale.records == 0) scale.records = 1;
+  if (scale.runs <= 0) scale.runs = 1;
+  return scale;
+}
+
+}  // namespace dsps

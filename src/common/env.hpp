@@ -1,0 +1,35 @@
+// Environment-variable configuration knobs for the benchmark harness.
+//
+//   STREAMSHIM_RECORDS — input record count        (default 20,000)
+//   STREAMSHIM_RUNS    — runs per setup            (default 3)
+//   STREAMSHIM_SEED    — master RNG seed           (default 42)
+//   STREAMSHIM_FULL=1  — paper scale: 1,000,001 records, 10 runs
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dsps {
+
+/// Returns the env var value or `fallback` when unset/empty.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Returns the env var parsed as i64 or `fallback` when unset/unparseable.
+std::int64_t env_i64(const char* name, std::int64_t fallback);
+
+/// True when the variable is set to "1", "true", "yes" or "on".
+bool env_flag(const char* name);
+
+/// Benchmark-scale settings resolved from the environment.
+struct BenchScale {
+  std::uint64_t records = 20'000;
+  int runs = 3;
+  std::uint64_t seed = 42;
+  bool full = false;
+};
+
+/// Resolves STREAMSHIM_* variables (FULL overrides records/runs to the
+/// paper's 1,000,001 / 10 unless they are explicitly set too).
+BenchScale resolve_bench_scale();
+
+}  // namespace dsps

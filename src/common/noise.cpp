@@ -1,0 +1,29 @@
+#include "common/noise.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace dsps {
+
+NoiseInjector::NoiseInjector(const NoiseConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+std::int64_t NoiseInjector::draw_pause_ms() {
+  if (!config_.enabled) return 0;
+  if (rng_.next_double() >= config_.pause_probability) return 0;
+  const std::int64_t span = config_.max_pause_ms - config_.min_pause_ms;
+  if (span <= 0) return config_.min_pause_ms;
+  return config_.min_pause_ms +
+         static_cast<std::int64_t>(rng_.next_below(
+             static_cast<std::uint64_t>(span + 1)));
+}
+
+std::int64_t NoiseInjector::maybe_pause() {
+  const std::int64_t pause_ms = draw_pause_ms();
+  if (pause_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(pause_ms));
+  }
+  return pause_ms;
+}
+
+}  // namespace dsps

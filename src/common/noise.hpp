@@ -1,0 +1,43 @@
+// Deterministic pause injection.
+//
+// The paper's Table III shows outliers in the Flink identity runs, which the
+// authors attribute to their (co-tenant) VM environment. To make that
+// *analysis* reproducible we can inject seeded pauses into a run: the
+// Table III bench enables this; every other experiment runs with noise off.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace dsps {
+
+struct NoiseConfig {
+  bool enabled = false;
+  /// Probability that any given run receives a pause at all.
+  double pause_probability = 0.3;
+  /// Pause duration drawn uniformly from [min_pause_ms, max_pause_ms].
+  std::int64_t min_pause_ms = 0;
+  std::int64_t max_pause_ms = 0;
+  std::uint64_t seed = 0;
+};
+
+class NoiseInjector {
+ public:
+  explicit NoiseInjector(const NoiseConfig& config);
+
+  /// Decides (deterministically, per call sequence) whether this run gets a
+  /// pause and returns its length in milliseconds (0 = no pause).
+  std::int64_t draw_pause_ms();
+
+  /// Sleeps for the drawn pause, if any. Returns the pause length.
+  std::int64_t maybe_pause();
+
+  bool enabled() const noexcept { return config_.enabled; }
+
+ private:
+  NoiseConfig config_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace dsps

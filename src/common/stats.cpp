@@ -1,0 +1,94 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.hpp"
+
+namespace dsps {
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double sum_sq = 0.0;
+  for (const double v : values) sum_sq += (v - m) * (v - m);
+  return std::sqrt(sum_sq / static_cast<double>(values.size() - 1));
+}
+
+double relative_stddev(const std::vector<double>& values) {
+  const double m = mean(values);
+  if (m == 0.0) return 0.0;
+  return stddev(values) / m;
+}
+
+double min_of(const std::vector<double>& values) {
+  require(!values.empty(), "min_of on empty vector");
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_of(const std::vector<double>& values) {
+  require(!values.empty(), "max_of on empty vector");
+  return *std::max_element(values.begin(), values.end());
+}
+
+double percentile(std::vector<double> values, double p) {
+  require(!values.empty(), "percentile on empty vector");
+  require(p >= 0.0 && p <= 100.0, "percentile p out of range");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+std::vector<std::size_t> outlier_indices(const std::vector<double>& values,
+                                         double k_sigma) {
+  std::vector<std::size_t> out;
+  if (values.size() < 3) return out;
+  const double m = mean(values);
+  const double sd = stddev(values);
+  if (sd == 0.0) return out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (std::abs(values[i] - m) > k_sigma * sd) out.push_back(i);
+  }
+  return out;
+}
+
+Histogram::Histogram(double bucket_width, std::size_t bucket_count)
+    : bucket_width_(bucket_width), buckets_(bucket_count + 1, 0) {
+  require(bucket_width > 0.0, "Histogram bucket width must be positive");
+  require(bucket_count > 0, "Histogram needs at least one bucket");
+}
+
+void Histogram::add(double value) {
+  const auto index = value < 0.0
+                         ? std::size_t{0}
+                         : static_cast<std::size_t>(value / bucket_width_);
+  buckets_[std::min(index, buckets_.size() - 1)]++;
+  ++count_;
+  total_ += value;
+}
+
+double Histogram::quantile(double q) const {
+  require(q >= 0.0 && q <= 1.0, "Histogram quantile out of range");
+  if (count_ == 0) return 0.0;
+  const auto target =
+      static_cast<std::size_t>(q * static_cast<double>(count_ - 1));
+  std::size_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) return static_cast<double>(i + 1) * bucket_width_;
+  }
+  return static_cast<double>(buckets_.size()) * bucket_width_;
+}
+
+}  // namespace dsps

@@ -1,0 +1,156 @@
+// Lightweight status / result types used across the streamshim libraries.
+//
+// We deliberately avoid exceptions on hot data paths (per-record code) and use
+// Status / Result<T> for fallible control-plane operations (topic creation,
+// job submission, configuration validation). Exceptions are reserved for
+// programming errors (precondition violations) surfaced via DSPS_REQUIRE.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace dsps {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kUnsupported,
+  kInternal,
+  kClosed,
+};
+
+/// Human-readable name of a status code, e.g. "InvalidArgument".
+std::string_view status_code_name(StatusCode code) noexcept;
+
+/// A success-or-error value for control-plane operations.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return {}; }
+  static Status invalid_argument(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status not_found(std::string msg) {
+    return {StatusCode::kNotFound, std::move(msg)};
+  }
+  static Status already_exists(std::string msg) {
+    return {StatusCode::kAlreadyExists, std::move(msg)};
+  }
+  static Status failed_precondition(std::string msg) {
+    return {StatusCode::kFailedPrecondition, std::move(msg)};
+  }
+  static Status resource_exhausted(std::string msg) {
+    return {StatusCode::kResourceExhausted, std::move(msg)};
+  }
+  static Status unsupported(std::string msg) {
+    return {StatusCode::kUnsupported, std::move(msg)};
+  }
+  static Status internal(std::string msg) {
+    return {StatusCode::kInternal, std::move(msg)};
+  }
+  static Status closed(std::string msg) {
+    return {StatusCode::kClosed, std::move(msg)};
+  }
+
+  bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  StatusCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// Renders "Ok" or "<Code>: <message>".
+  std::string to_string() const;
+
+  /// Throws std::runtime_error if not ok. For call sites where failure is a
+  /// programming error (e.g. examples, tests).
+  void expect_ok() const {
+    if (!is_ok()) throw std::runtime_error(to_string());
+  }
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::string_view status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "Ok";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kUnsupported: return "Unsupported";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kClosed: return "Closed";
+  }
+  return "Unknown";
+}
+
+inline std::string Status::to_string() const {
+  if (is_ok()) return "Ok";
+  std::string out{status_code_name(code_)};
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+/// A value or an error Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Status status) : value_(std::move(status)) {}   // NOLINT(google-explicit-constructor)
+
+  bool is_ok() const noexcept { return std::holds_alternative<T>(value_); }
+
+  const T& value() const& {
+    require_ok();
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    require_ok();
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    require_ok();
+    return std::get<T>(std::move(value_));
+  }
+
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(value_);
+  }
+
+ private:
+  void require_ok() const {
+    if (!is_ok()) {
+      throw std::runtime_error("Result::value() on error: " +
+                               std::get<Status>(value_).to_string());
+    }
+  }
+
+  std::variant<T, Status> value_;
+};
+
+/// Precondition check: throws std::invalid_argument when violated.
+/// Used for programming errors, not data-path failures.
+inline void require(bool condition, const char* what) {
+  if (!condition) throw std::invalid_argument(what);
+}
+
+}  // namespace dsps

@@ -1,0 +1,71 @@
+#include "common/strings.hpp"
+
+#include <cstdio>
+
+namespace dsps {
+
+std::vector<std::string> split(std::string_view input, char delimiter) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = input.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(input.substr(start));
+      return parts;
+    }
+    parts.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string_view> split_views(std::string_view input,
+                                          char delimiter) {
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = input.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(input.substr(start));
+      return parts;
+    }
+    parts.push_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string join(const std::vector<std::string>& parts, char delimiter) {
+  std::string out;
+  std::size_t total = parts.empty() ? 0 : parts.size() - 1;
+  for (const auto& part : parts) total += part.size();
+  out.reserve(total);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.push_back(delimiter);
+    out += parts[i];
+  }
+  return out;
+}
+
+bool contains(std::string_view haystack, std::string_view needle) noexcept {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+std::string pad_left(std::string_view s, std::size_t width) {
+  std::string out;
+  if (s.size() < width) out.assign(width - s.size(), ' ');
+  out += s;
+  return out;
+}
+
+std::string pad_right(std::string_view s, std::size_t width) {
+  std::string out{s};
+  if (out.size() < width) out.append(width - out.size(), ' ');
+  return out;
+}
+
+std::string format_double(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  return buffer;
+}
+
+}  // namespace dsps

@@ -1,0 +1,32 @@
+// Small string utilities shared by the workload generator and the queries.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsps {
+
+/// Splits `input` on `delimiter`, keeping empty fields.
+std::vector<std::string> split(std::string_view input, char delimiter);
+
+/// Splits and returns views into `input` (no allocation per field content).
+std::vector<std::string_view> split_views(std::string_view input,
+                                          char delimiter);
+
+/// Joins `parts` with `delimiter`.
+std::string join(const std::vector<std::string>& parts, char delimiter);
+
+/// True if `haystack` contains `needle` (the Grep query predicate).
+bool contains(std::string_view haystack, std::string_view needle) noexcept;
+
+/// Left-pads `s` with spaces to at least `width` characters.
+std::string pad_left(std::string_view s, std::size_t width);
+
+/// Right-pads `s` with spaces to at least `width` characters.
+std::string pad_right(std::string_view s, std::size_t width);
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string format_double(double value, int precision);
+
+}  // namespace dsps

@@ -1,0 +1,35 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace dsps {
+
+namespace {
+constexpr std::size_t kQueueCapacity = 4096;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) : tasks_(kQueueCapacity) {
+  const std::size_t n = std::max<std::size_t>(1, threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  tasks_.close();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void ThreadPool::worker_loop() {
+  while (auto task = tasks_.pop()) {
+    (*task)();
+  }
+}
+
+}  // namespace dsps

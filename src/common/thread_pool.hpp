@@ -1,0 +1,53 @@
+// Fixed-size thread pool with futures.
+//
+// Used by Spark-sim executors (task scheduling) and by the harness for
+// concurrent setup work. Engine *dataflow* threads are managed by the engines
+// themselves (one thread per task/container), not by this pool.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/queue.hpp"
+
+namespace dsps {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` worker threads (at least 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules `fn` and returns a future for its result.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    const bool accepted = tasks_.push([task] { (*task)(); });
+    if (!accepted) {
+      throw std::runtime_error("ThreadPool::submit after shutdown");
+    }
+    return future;
+  }
+
+  /// Stops accepting work, drains queued tasks, joins workers.
+  void shutdown();
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  BoundedQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dsps

@@ -1,0 +1,31 @@
+// Type-erased element passed along Flink-sim operator chains and channels.
+//
+// The typed DataStream<T> API guarantees at compile time that an edge only
+// carries one type, so the erased core can use unchecked
+// static_pointer_cast — the same trade real engines make when they erase
+// user types behind serializers.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+namespace dsps::flink {
+
+using Elem = std::shared_ptr<void>;
+
+template <typename T, typename... Args>
+Elem make_elem(Args&&... args) {
+  return std::make_shared<T>(std::forward<Args>(args)...);
+}
+
+template <typename T>
+const T& elem_cast(const Elem& elem) {
+  return *static_cast<const T*>(elem.get());
+}
+
+template <typename T>
+std::shared_ptr<T> elem_ptr(const Elem& elem) {
+  return std::static_pointer_cast<T>(elem);
+}
+
+}  // namespace dsps::flink

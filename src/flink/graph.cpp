@@ -1,0 +1,138 @@
+#include "flink/graph.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/status.hpp"
+
+namespace dsps::flink {
+
+namespace {
+
+/// Out-edges per node, in insertion order.
+std::map<int, std::vector<const StreamEdge*>> out_edges(
+    const StreamGraph& graph) {
+  std::map<int, std::vector<const StreamEdge*>> out;
+  for (const auto& edge : graph.edges) out[edge.from].push_back(&edge);
+  return out;
+}
+
+std::map<int, int> in_degree(const StreamGraph& graph) {
+  std::map<int, int> degree;
+  for (const auto& node : graph.nodes) degree[node.id] = 0;
+  for (const auto& edge : graph.edges) ++degree[edge.to];
+  return degree;
+}
+
+bool can_chain(const StreamGraph& graph, const StreamEdge& edge,
+               const std::map<int, int>& degree,
+               const std::map<int, std::vector<const StreamEdge*>>& outs) {
+  const StreamNode& from = graph.node(edge.from);
+  const StreamNode& to = graph.node(edge.to);
+  if (edge.mode != PartitionMode::kForward) return false;
+  if (from.parallelism != to.parallelism) return false;
+  if (!from.chainable || !to.chainable) return false;
+  // Only pure linear segments chain: one consumer downstream of `from`,
+  // one producer upstream of `to`.
+  const auto out_it = outs.find(edge.from);
+  if (out_it == outs.end() || out_it->second.size() != 1) return false;
+  if (degree.at(edge.to) != 1) return false;
+  return true;
+}
+
+std::string display_name_for(const StreamGraph& graph,
+                             const std::vector<int>& chain) {
+  std::string name;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const StreamNode& node = graph.node(chain[i]);
+    if (i > 0) name += " -> ";
+    switch (node.kind) {
+      case NodeKind::kSource: name += "Source: " + node.name; break;
+      case NodeKind::kSink: name += "Sink: " + node.name; break;
+      case NodeKind::kOperator: name += node.name; break;
+    }
+  }
+  return name;
+}
+
+}  // namespace
+
+JobGraph build_job_graph(const StreamGraph& graph, bool chaining_enabled) {
+  const auto outs = out_edges(graph);
+  const auto degree = in_degree(graph);
+
+  JobGraph job;
+  std::map<int, int> node_to_vertex;
+
+  // Greedy chain building in topological-ish order (node ids are assigned
+  // in API order, which is already topological for the builder API).
+  std::vector<int> order;
+  order.reserve(graph.nodes.size());
+  for (const auto& node : graph.nodes) order.push_back(node.id);
+
+  for (const int node_id : order) {
+    if (node_to_vertex.contains(node_id)) continue;
+    std::vector<int> chain{node_id};
+    if (chaining_enabled) {
+      int tail = node_id;
+      while (true) {
+        const auto out_it = outs.find(tail);
+        if (out_it == outs.end() || out_it->second.size() != 1) break;
+        const StreamEdge& edge = *out_it->second.front();
+        if (!can_chain(graph, edge, degree, outs)) break;
+        if (node_to_vertex.contains(edge.to)) break;
+        chain.push_back(edge.to);
+        tail = edge.to;
+      }
+    }
+    JobVertex vertex;
+    vertex.id = static_cast<int>(job.vertices.size());
+    vertex.chained_nodes = chain;
+    vertex.parallelism = graph.node(node_id).parallelism;
+    vertex.display_name = display_name_for(graph, chain);
+    for (const int chained : chain) node_to_vertex[chained] = vertex.id;
+    job.vertices.push_back(std::move(vertex));
+  }
+
+  for (const auto& edge : graph.edges) {
+    const int from_vertex = node_to_vertex.at(edge.from);
+    const int to_vertex = node_to_vertex.at(edge.to);
+    if (from_vertex == to_vertex) continue;  // chained away
+    job.edges.push_back(JobEdge{.from_vertex = from_vertex,
+                                .to_vertex = to_vertex,
+                                .mode = edge.mode,
+                                .key_fn = edge.key_fn});
+  }
+  return job;
+}
+
+std::string render_execution_plan(const StreamGraph& graph,
+                                  const JobGraph& job_graph) {
+  std::string out;
+  for (const auto& vertex : job_graph.vertices) {
+    const StreamNode& head = graph.node(vertex.chained_nodes.front());
+    const char* kind = nullptr;
+    switch (head.kind) {
+      case NodeKind::kSource: kind = "Data Source"; break;
+      case NodeKind::kSink: kind = "Data Sink"; break;
+      case NodeKind::kOperator: kind = "Operator"; break;
+    }
+    out += "[" + std::to_string(vertex.id) + "] " + kind + "\n";
+    out += "    " + vertex.display_name + "\n";
+    out += "    Parallelism: " + std::to_string(vertex.parallelism) + "\n";
+  }
+  if (!job_graph.edges.empty()) {
+    out += "Edges:\n";
+    for (const auto& edge : job_graph.edges) {
+      const char* mode = edge.mode == PartitionMode::kForward ? "FORWARD"
+                         : edge.mode == PartitionMode::kRebalance
+                             ? "REBALANCE"
+                             : "HASH";
+      out += "    " + std::to_string(edge.from_vertex) + " -> " +
+             std::to_string(edge.to_vertex) + " [" + mode + "]\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace dsps::flink

@@ -1,0 +1,86 @@
+// StreamGraph (what the API builds) and JobGraph (what the client submits).
+//
+// The client-side translation StreamGraph -> JobGraph performs *operator
+// chaining*: consecutive one-to-one operators with the same parallelism and
+// a forward edge are fused into a single task and exchange records by direct
+// virtual calls instead of a channel hop (§II-B). The Beam Flink runner
+// disables chaining, which is one of the structural reasons Fig. 13's plan
+// has seven nodes where Fig. 12 has three.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "flink/operators.hpp"
+
+namespace dsps::flink {
+
+enum class NodeKind { kSource, kOperator, kSink };
+
+/// How records are routed across a non-chained edge.
+enum class PartitionMode {
+  kForward,    // subtask i -> subtask i (requires equal parallelism)
+  kRebalance,  // round-robin over consumer subtasks
+  kHash,       // by key hash (requires a key function on the edge)
+};
+
+using KeyFn = std::function<std::uint64_t(const Elem&)>;
+
+struct StreamNode {
+  int id = 0;
+  std::string name;
+  NodeKind kind = NodeKind::kOperator;
+  int parallelism = 1;
+  OperatorFactory make_operator;  // kOperator / kSink
+  SourceFactory make_source;      // kSource
+  bool chainable = true;
+};
+
+struct StreamEdge {
+  int from = 0;
+  int to = 0;
+  PartitionMode mode = PartitionMode::kForward;
+  KeyFn key_fn;  // only for kHash
+};
+
+struct StreamGraph {
+  std::vector<StreamNode> nodes;
+  std::vector<StreamEdge> edges;
+
+  const StreamNode& node(int id) const { return nodes.at(static_cast<std::size_t>(id)); }
+};
+
+/// One schedulable vertex: a chain of operators headed by a source or an
+/// input channel.
+struct JobVertex {
+  int id = 0;
+  std::vector<int> chained_nodes;  // StreamNode ids, head first
+  int parallelism = 1;
+  std::string display_name;        // "Source: X -> Filter -> Sink: Y"
+};
+
+struct JobEdge {
+  int from_vertex = 0;
+  int to_vertex = 0;
+  PartitionMode mode = PartitionMode::kForward;
+  KeyFn key_fn;
+};
+
+struct JobGraph {
+  std::vector<JobVertex> vertices;
+  std::vector<JobEdge> edges;
+};
+
+/// Client-side translation with the chaining optimization.
+/// When `chaining_enabled` is false every node becomes its own vertex.
+JobGraph build_job_graph(const StreamGraph& graph, bool chaining_enabled);
+
+/// Renders the execution plan in the style of the Flink plan visualizer
+/// (Fig. 12 / Fig. 13): one block per job vertex with kind, name, and
+/// parallelism, plus the edges between them.
+std::string render_execution_plan(const StreamGraph& graph,
+                                  const JobGraph& job_graph);
+
+}  // namespace dsps::flink

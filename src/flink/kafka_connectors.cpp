@@ -1,0 +1,93 @@
+#include "flink/kafka_connectors.hpp"
+
+#include <utility>
+
+namespace dsps::flink {
+
+void KafkaStringSource::open(const RuntimeContext& context) {
+  consumer_ = std::make_unique<kafka::Consumer>(
+      broker_, kafka::ConsumerConfig{.group_id = config_.group_id,
+                                     .max_poll_records =
+                                         config_.max_poll_records});
+  const auto partition_count = broker_.partition_count(config_.topic);
+  partition_count.status().expect_ok();
+  for (int p = 0; p < partition_count.value(); ++p) {
+    if (p % context.parallelism != context.subtask_index) continue;
+    const kafka::TopicPartition tp{config_.topic, p};
+    std::int64_t start = 0;
+    if (config_.resume_from_group && !config_.group_id.empty()) {
+      const std::int64_t committed =
+          broker_.committed_offset(config_.group_id, tp);
+      if (committed >= 0) start = committed;
+    }
+    consumer_->assign(tp, start).expect_ok();
+    assigned_.push_back(tp);
+    const auto end = broker_.end_offset(tp);
+    end.status().expect_ok();
+    bounded_end_.push_back(config_.bounded ? end.value() : -1);
+  }
+}
+
+void KafkaStringSource::run(SourceContext& context) {
+  if (assigned_.empty()) return;  // surplus subtask: nothing to read
+  int polls_since_commit = 0;
+  while (!context.cancelled()) {
+    const auto records = consumer_->poll(config_.poll_timeout_ms);
+    for (const auto& record : records) {
+      context.collect(make_elem<std::string>(record.value));
+    }
+    if (config_.resume_from_group &&
+        ++polls_since_commit >= config_.commit_every_polls) {
+      consumer_->commit();
+      polls_since_commit = 0;
+    }
+    if (config_.bounded) {
+      bool done = true;
+      const auto positions = consumer_->positions();
+      for (std::size_t i = 0; i < positions.size(); ++i) {
+        if (positions[i].second < bounded_end_[i]) {
+          done = false;
+          break;
+        }
+      }
+      if (done) {
+        if (config_.resume_from_group) consumer_->commit();
+        return;
+      }
+    }
+  }
+  // Cancelled mid-stream: leave the last committed offset as the recovery
+  // point (records after it replay on restart — at-least-once).
+}
+
+void KafkaStringSink::open(const RuntimeContext& /*context*/) {
+  producer_ = std::make_unique<kafka::Producer>(
+      broker_, kafka::ProducerConfig{.acks = config_.acks,
+                                     .batch_size = config_.batch_size});
+}
+
+void KafkaStringSink::invoke(const Elem& element) {
+  producer_
+      ->send(config_.topic, config_.partition,
+             kafka::ProducerRecord{.key = {},
+                                   .value = elem_cast<std::string>(element)})
+      .expect_ok();
+}
+
+void KafkaStringSink::close() {
+  if (producer_) producer_->close().expect_ok();
+}
+
+SourceFactory kafka_source(kafka::Broker& broker, KafkaSourceConfig config) {
+  return [&broker, config] {
+    return std::make_unique<KafkaStringSource>(broker, config);
+  };
+}
+
+SinkFactory kafka_sink(kafka::Broker& broker, KafkaSinkConfig config) {
+  return [&broker, config] {
+    return std::make_unique<KafkaStringSink>(broker, config);
+  };
+}
+
+}  // namespace dsps::flink

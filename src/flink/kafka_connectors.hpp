@@ -1,0 +1,77 @@
+// MiniKafka connectors for Flink-sim (the FlinkKafkaConsumer/Producer
+// analogues). The bounded source captures the end offsets at open() and
+// finishes when it reaches them — the benchmark pre-loads the input topic,
+// so bounded semantics match the paper's measurement window.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "flink/operators.hpp"
+#include "kafka/broker.hpp"
+#include "kafka/consumer.hpp"
+#include "kafka/producer.hpp"
+
+namespace dsps::flink {
+
+struct KafkaSourceConfig {
+  std::string topic;
+  std::string group_id = "flink-source";
+  bool bounded = true;
+  std::size_t max_poll_records = 1000;
+  std::int64_t poll_timeout_ms = 50;
+  /// At-least-once recovery: when true, resume from the consumer group's
+  /// committed offsets and commit after every `commit_every_polls` polls.
+  /// A job restarted after a crash re-reads at most the uncommitted tail
+  /// (some records may be emitted twice — at-least-once, like a Kafka
+  /// consumer without transactional sinks).
+  bool resume_from_group = false;
+  int commit_every_polls = 1;
+};
+
+/// Emits record values as std::string elements. With parallelism > number
+/// of partitions, surplus subtasks emit nothing (Kafka semantics).
+class KafkaStringSource final : public SourceFunction {
+ public:
+  KafkaStringSource(kafka::Broker& broker, KafkaSourceConfig config)
+      : broker_(broker), config_(std::move(config)) {}
+
+  void open(const RuntimeContext& context) override;
+  void run(SourceContext& context) override;
+
+ private:
+  kafka::Broker& broker_;
+  KafkaSourceConfig config_;
+  std::unique_ptr<kafka::Consumer> consumer_;
+  std::vector<std::int64_t> bounded_end_;  // per assigned partition
+  std::vector<kafka::TopicPartition> assigned_;
+};
+
+struct KafkaSinkConfig {
+  std::string topic;
+  int partition = 0;
+  kafka::Acks acks = kafka::Acks::kLeader;
+  std::size_t batch_size = 500;
+};
+
+/// Writes string elements as record values.
+class KafkaStringSink final : public SinkFunction {
+ public:
+  KafkaStringSink(kafka::Broker& broker, KafkaSinkConfig config)
+      : broker_(broker), config_(std::move(config)) {}
+
+  void open(const RuntimeContext& context) override;
+  void invoke(const Elem& element) override;
+  void close() override;
+
+ private:
+  kafka::Broker& broker_;
+  KafkaSinkConfig config_;
+  std::unique_ptr<kafka::Producer> producer_;
+};
+
+/// Factory helpers for the DataStream API.
+SourceFactory kafka_source(kafka::Broker& broker, KafkaSourceConfig config);
+SinkFactory kafka_sink(kafka::Broker& broker, KafkaSinkConfig config);
+
+}  // namespace dsps::flink

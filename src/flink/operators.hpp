@@ -1,0 +1,193 @@
+// Erased operator layer: StreamOperator, sources, sinks, and the built-in
+// operator implementations the typed DataStream API instantiates.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "flink/element.hpp"
+
+namespace dsps::flink {
+
+/// Downstream hand-off point for an operator.
+class Collector {
+ public:
+  virtual ~Collector() = default;
+  virtual void collect(Elem element) = 0;
+};
+
+/// Per-subtask runtime information handed to operators at open().
+struct RuntimeContext {
+  int subtask_index = 0;
+  int parallelism = 1;
+  std::string task_name;
+};
+
+/// One operator instance inside one subtask.
+class StreamOperator {
+ public:
+  virtual ~StreamOperator() = default;
+  virtual void open(const RuntimeContext& /*context*/) {}
+  virtual void process(Elem element, Collector& out) = 0;
+  /// Called once after the last element (flush windows / aggregates).
+  virtual void close(Collector& /*out*/) {}
+};
+
+using OperatorFactory = std::function<std::unique_ptr<StreamOperator>()>;
+
+/// Emits elements into the pipeline; run() must return on end-of-input in
+/// bounded mode or when cancelled.
+class SourceContext {
+ public:
+  virtual ~SourceContext() = default;
+  virtual void collect(Elem element) = 0;
+  virtual bool cancelled() const = 0;
+};
+
+class SourceFunction {
+ public:
+  virtual ~SourceFunction() = default;
+  virtual void open(const RuntimeContext& /*context*/) {}
+  virtual void run(SourceContext& context) = 0;
+};
+
+using SourceFactory = std::function<std::unique_ptr<SourceFunction>()>;
+
+class SinkFunction {
+ public:
+  virtual ~SinkFunction() = default;
+  virtual void open(const RuntimeContext& /*context*/) {}
+  virtual void invoke(const Elem& element) = 0;
+  virtual void close() {}
+};
+
+using SinkFactory = std::function<std::unique_ptr<SinkFunction>()>;
+
+// ---------------------------------------------------------------------------
+// Built-in operators.
+
+class MapOperator final : public StreamOperator {
+ public:
+  explicit MapOperator(std::function<Elem(const Elem&)> fn)
+      : fn_(std::move(fn)) {}
+  void process(Elem element, Collector& out) override {
+    out.collect(fn_(element));
+  }
+
+ private:
+  std::function<Elem(const Elem&)> fn_;
+};
+
+class FilterOperator final : public StreamOperator {
+ public:
+  explicit FilterOperator(std::function<bool(const Elem&)> predicate)
+      : predicate_(std::move(predicate)) {}
+  void process(Elem element, Collector& out) override {
+    if (predicate_(element)) out.collect(std::move(element));
+  }
+
+ private:
+  std::function<bool(const Elem&)> predicate_;
+};
+
+class FlatMapOperator final : public StreamOperator {
+ public:
+  explicit FlatMapOperator(std::function<void(const Elem&, Collector&)> fn)
+      : fn_(std::move(fn)) {}
+  void process(Elem element, Collector& out) override { fn_(element, out); }
+
+ private:
+  std::function<void(const Elem&, Collector&)> fn_;
+};
+
+/// Continuous per-key reduce: every input emits the updated aggregate for
+/// its key (Flink's KeyedStream::reduce semantics).
+class KeyedReduceOperator final : public StreamOperator {
+ public:
+  KeyedReduceOperator(std::function<std::uint64_t(const Elem&)> key_of,
+                      std::function<Elem(const Elem&, const Elem&)> reduce)
+      : key_of_(std::move(key_of)), reduce_(std::move(reduce)) {}
+
+  void process(Elem element, Collector& out) override {
+    const std::uint64_t key = key_of_(element);
+    auto [it, inserted] = state_.try_emplace(key, element);
+    if (!inserted) it->second = reduce_(it->second, element);
+    out.collect(it->second);
+  }
+
+ private:
+  std::function<std::uint64_t(const Elem&)> key_of_;
+  std::function<Elem(const Elem&, const Elem&)> reduce_;
+  std::unordered_map<std::uint64_t, Elem> state_;
+};
+
+/// Per-key tumbling count window with a reduce function: emits one result
+/// per full window; partial windows flush at end of input.
+class CountWindowReduceOperator final : public StreamOperator {
+ public:
+  CountWindowReduceOperator(
+      std::function<std::uint64_t(const Elem&)> key_of,
+      std::function<Elem(const Elem&, const Elem&)> reduce,
+      std::size_t window_size)
+      : key_of_(std::move(key_of)),
+        reduce_(std::move(reduce)),
+        window_size_(window_size) {}
+
+  void process(Elem element, Collector& out) override {
+    const std::uint64_t key = key_of_(element);
+    auto& window = state_[key];
+    window.accumulator = window.count == 0
+                             ? element
+                             : reduce_(window.accumulator, element);
+    if (++window.count >= window_size_) {
+      out.collect(std::move(window.accumulator));
+      window = {};
+    }
+  }
+
+  void close(Collector& out) override {
+    for (auto& [key, window] : state_) {
+      if (window.count > 0) out.collect(std::move(window.accumulator));
+    }
+    state_.clear();
+  }
+
+ private:
+  struct Window {
+    Elem accumulator;
+    std::size_t count = 0;
+  };
+
+  std::function<std::uint64_t(const Elem&)> key_of_;
+  std::function<Elem(const Elem&, const Elem&)> reduce_;
+  std::size_t window_size_;
+  std::unordered_map<std::uint64_t, Window> state_;
+};
+
+/// Adapts a SinkFunction to the operator interface so sinks can be chained.
+class SinkOperator final : public StreamOperator {
+ public:
+  explicit SinkOperator(SinkFactory factory) : factory_(std::move(factory)) {}
+
+  void open(const RuntimeContext& context) override {
+    sink_ = factory_();
+    sink_->open(context);
+  }
+  void process(Elem element, Collector& /*out*/) override {
+    sink_->invoke(element);
+  }
+  void close(Collector& /*out*/) override {
+    if (sink_) sink_->close();
+  }
+
+ private:
+  SinkFactory factory_;
+  std::unique_ptr<SinkFunction> sink_;
+};
+
+}  // namespace dsps::flink

@@ -1,0 +1,381 @@
+#include "flink/runtime.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/clock.hpp"
+
+namespace dsps::flink {
+
+namespace {
+
+/// Routes records of one out-edge to the consumer subtask channels.
+class Router {
+ public:
+  Router(PartitionMode mode, KeyFn key_fn,
+         std::vector<std::shared_ptr<Channel>> channels, int producer_subtask)
+      : mode_(mode),
+        key_fn_(std::move(key_fn)),
+        channels_(std::move(channels)),
+        producer_subtask_(producer_subtask) {}
+
+  void emit(const Elem& element) {
+    switch (mode_) {
+      case PartitionMode::kForward:
+        channels_[static_cast<std::size_t>(producer_subtask_) %
+                  channels_.size()]
+            ->push(Envelope{element, false});
+        return;
+      case PartitionMode::kRebalance:
+        channels_[next_++ % channels_.size()]->push(Envelope{element, false});
+        return;
+      case PartitionMode::kHash:
+        channels_[key_fn_(element) % channels_.size()]->push(
+            Envelope{element, false});
+        return;
+    }
+  }
+
+  void send_eos() {
+    if (mode_ == PartitionMode::kForward) {
+      channels_[static_cast<std::size_t>(producer_subtask_) %
+                channels_.size()]
+          ->push(Envelope{{}, true});
+      return;
+    }
+    for (auto& channel : channels_) channel->push(Envelope{{}, true});
+  }
+
+ private:
+  PartitionMode mode_;
+  KeyFn key_fn_;
+  std::vector<std::shared_ptr<Channel>> channels_;
+  int producer_subtask_;
+  std::size_t next_ = 0;
+};
+
+/// Tail of a chain: counts records out and forwards to all out-routers.
+class ChainTail final : public Collector {
+ public:
+  ChainTail(std::vector<std::unique_ptr<Router>>* routers,
+            std::atomic<std::uint64_t>* records_out)
+      : routers_(routers), records_out_(records_out) {}
+
+  void collect(Elem element) override {
+    records_out_->fetch_add(1, std::memory_order_relaxed);
+    for (auto& router : *routers_) router->emit(element);
+  }
+
+ private:
+  std::vector<std::unique_ptr<Router>>* routers_;
+  std::atomic<std::uint64_t>* records_out_;
+};
+
+/// Middle link: hands elements to the next operator in the chain.
+class ChainLink final : public Collector {
+ public:
+  ChainLink(StreamOperator* op, Collector* next) : op_(op), next_(next) {}
+  void collect(Elem element) override {
+    op_->process(std::move(element), *next_);
+  }
+
+ private:
+  StreamOperator* op_;
+  Collector* next_;
+};
+
+/// One subtask: instantiated chain + IO wiring.
+struct Task {
+  int vertex_id = 0;
+  int subtask = 0;
+  std::string name;
+  // Chain bodies (head first). Empty for a pure source vertex whose chain
+  // is only the source function.
+  std::vector<std::unique_ptr<StreamOperator>> operators;
+  std::unique_ptr<SourceFunction> source;  // head of a source vertex
+  std::shared_ptr<Channel> input;          // null for source vertices
+  int eos_expected = 0;                    // producers feeding `input`
+  std::vector<std::unique_ptr<Router>> routers;
+
+  // Wired collectors, tail first; entry() is the chain entry point.
+  std::vector<std::unique_ptr<Collector>> collectors;
+  Collector* entry = nullptr;
+};
+
+class BoundedSourceContext final : public SourceContext {
+ public:
+  BoundedSourceContext(Collector& entry, std::atomic<bool>& cancelled,
+                       std::atomic<std::uint64_t>& records_in)
+      : entry_(entry), cancelled_(cancelled), records_in_(records_in) {}
+
+  void collect(Elem element) override {
+    records_in_.fetch_add(1, std::memory_order_relaxed);
+    entry_.collect(std::move(element));
+  }
+  bool cancelled() const override {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Collector& entry_;
+  std::atomic<bool>& cancelled_;
+  std::atomic<std::uint64_t>& records_in_;
+};
+
+struct VertexRuntime {
+  std::atomic<std::uint64_t> records_in{0};
+  std::atomic<std::uint64_t> records_out{0};
+};
+
+}  // namespace
+
+struct JobHandle::State {
+  std::vector<std::thread> threads;
+  std::atomic<bool> cancelled{false};
+  std::vector<std::unique_ptr<VertexRuntime>> metrics;
+  std::vector<std::string> names;
+  Stopwatch stopwatch;
+  std::atomic<bool> joined{false};
+  std::mutex join_mutex;
+  JobResult result;
+
+  JobResult join() {
+    std::lock_guard lock(join_mutex);
+    if (!joined.load()) {
+      for (auto& thread : threads) {
+        if (thread.joinable()) thread.join();
+      }
+      result.duration_ms = stopwatch.elapsed_ms();
+      for (std::size_t v = 0; v < metrics.size(); ++v) {
+        result.vertices.push_back(VertexMetrics{
+            .display_name = names[v],
+            .records_in = metrics[v]->records_in.load(),
+            .records_out = metrics[v]->records_out.load()});
+      }
+      joined.store(true);
+    }
+    return result;
+  }
+};
+
+JobHandle::~JobHandle() {
+  if (state_) {
+    cancel();
+    state_->join();
+  }
+}
+
+void JobHandle::cancel() {
+  if (state_) state_->cancelled.store(true);
+}
+
+JobResult JobHandle::wait() {
+  require(state_ != nullptr, "JobHandle not attached to a job");
+  return state_->join();
+}
+
+namespace {
+
+/// Validates slot demand against the configured TaskManagers and spawns all
+/// task threads. Shared by the sync and async entry points.
+Result<std::shared_ptr<JobHandle::State>> launch(const StreamGraph& graph,
+                                                 const JobGraph& job_graph,
+                                                 const JobConfig& config) {
+  // --- slot scheduling -----------------------------------------------------
+  int slots_needed = 0;
+  for (const auto& vertex : job_graph.vertices) {
+    slots_needed += vertex.parallelism;
+  }
+  std::vector<TaskManagerConfig> task_managers = config.task_managers;
+  if (task_managers.empty()) {
+    // Default standalone deployment: one TaskManager with enough slots.
+    task_managers.push_back(
+        TaskManagerConfig{"taskmanager-0", std::max(1, slots_needed)});
+  }
+  int slots_available = 0;
+  for (const auto& tm : task_managers) slots_available += tm.task_slots;
+  // Flink shares one slot across subtasks of *different* vertices of the
+  // same job (slot sharing groups); the default group needs max(parallelism)
+  // slots, not the sum.
+  int slots_required = 0;
+  for (const auto& vertex : job_graph.vertices) {
+    slots_required = std::max(slots_required, vertex.parallelism);
+  }
+  if (slots_required > slots_available) {
+    return Status::resource_exhausted(
+        "job needs " + std::to_string(slots_required) + " slots, cluster has " +
+        std::to_string(slots_available));
+  }
+
+  // --- channel construction ------------------------------------------------
+  // input_channels[vertex][subtask]
+  std::map<int, std::vector<std::shared_ptr<Channel>>> input_channels;
+  std::map<int, int> eos_expected;  // per consumer vertex, per subtask count
+  for (const auto& edge : job_graph.edges) {
+    const auto& consumer =
+        job_graph.vertices[static_cast<std::size_t>(edge.to_vertex)];
+    auto& channels = input_channels[edge.to_vertex];
+    if (channels.empty()) {
+      for (int s = 0; s < consumer.parallelism; ++s) {
+        channels.push_back(
+            std::make_shared<Channel>(config.channel_capacity));
+      }
+    }
+  }
+  for (const auto& edge : job_graph.edges) {
+    const auto& producer =
+        job_graph.vertices[static_cast<std::size_t>(edge.from_vertex)];
+    const auto& consumer =
+        job_graph.vertices[static_cast<std::size_t>(edge.to_vertex)];
+    // Each producer subtask sends exactly one EOS to every channel it feeds.
+    // Forward: feeds exactly one channel. Other modes: feeds all channels.
+    if (edge.mode == PartitionMode::kForward) {
+      require(producer.parallelism == consumer.parallelism ||
+                  consumer.parallelism == 1,
+              "FORWARD edge requires matching parallelism");
+      // With equal parallelism each channel is fed by exactly one producer
+      // subtask; with a single consumer every producer subtask feeds it.
+      eos_expected[edge.to_vertex] +=
+          consumer.parallelism == producer.parallelism ? 1
+                                                       : producer.parallelism;
+    } else {
+      eos_expected[edge.to_vertex] += producer.parallelism;
+    }
+  }
+
+  auto state = std::make_shared<JobHandle::State>();
+  for (const auto& vertex : job_graph.vertices) {
+    state->metrics.push_back(std::make_unique<VertexRuntime>());
+    state->names.push_back(vertex.display_name);
+  }
+
+  // --- task construction ---------------------------------------------------
+  std::vector<std::unique_ptr<Task>> tasks;
+  for (const auto& vertex : job_graph.vertices) {
+    for (int subtask = 0; subtask < vertex.parallelism; ++subtask) {
+      auto task = std::make_unique<Task>();
+      task->vertex_id = vertex.id;
+      task->subtask = subtask;
+      task->name = vertex.display_name;
+
+      const StreamNode& head = graph.node(vertex.chained_nodes.front());
+      std::size_t first_operator = 0;
+      if (head.kind == NodeKind::kSource) {
+        task->source = head.make_source();
+        first_operator = 1;
+      }
+      for (std::size_t i = first_operator; i < vertex.chained_nodes.size();
+           ++i) {
+        const StreamNode& node = graph.node(vertex.chained_nodes[i]);
+        task->operators.push_back(node.make_operator());
+      }
+
+      // Output routers for every out-edge of this vertex.
+      for (const auto& edge : job_graph.edges) {
+        if (edge.from_vertex != vertex.id) continue;
+        task->routers.push_back(std::make_unique<Router>(
+            edge.mode, edge.key_fn, input_channels.at(edge.to_vertex),
+            subtask));
+      }
+
+      // Wire collectors tail -> head.
+      auto* runtime = state->metrics[static_cast<std::size_t>(vertex.id)].get();
+      auto tail =
+          std::make_unique<ChainTail>(&task->routers, &runtime->records_out);
+      Collector* next = tail.get();
+      task->collectors.push_back(std::move(tail));
+      for (std::size_t i = task->operators.size(); i-- > 0;) {
+        auto link =
+            std::make_unique<ChainLink>(task->operators[i].get(), next);
+        next = link.get();
+        task->collectors.push_back(std::move(link));
+      }
+      task->entry = next;
+
+      if (const auto it = input_channels.find(vertex.id);
+          it != input_channels.end()) {
+        task->input = it->second[static_cast<std::size_t>(subtask)];
+        task->eos_expected = eos_expected.at(vertex.id);
+      }
+      tasks.push_back(std::move(task));
+    }
+  }
+
+  // --- thread launch -------------------------------------------------------
+  std::map<int, int> vertex_parallelism;
+  for (const auto& vertex : job_graph.vertices) {
+    vertex_parallelism[vertex.id] = vertex.parallelism;
+  }
+  state->stopwatch.reset();
+  for (auto& task_ptr : tasks) {
+    const int parallelism = vertex_parallelism.at(task_ptr->vertex_id);
+    state->threads.emplace_back([task = std::move(task_ptr), state,
+                                 parallelism]() mutable {
+      auto* runtime =
+          state->metrics[static_cast<std::size_t>(task->vertex_id)].get();
+      RuntimeContext context{.subtask_index = task->subtask,
+                             .parallelism = parallelism,
+                             .task_name = task->name};
+      for (auto& op : task->operators) op->open(context);
+
+      auto close_chain = [&] {
+        // Close operators head -> tail so flushed elements traverse the
+        // remainder of the chain.
+        for (std::size_t i = 0; i < task->operators.size(); ++i) {
+          Collector* next = task->collectors.size() >= 2 + i
+                                ? task->collectors[task->collectors.size() -
+                                                   2 - i]
+                                      .get()
+                                : task->collectors.front().get();
+          task->operators[i]->close(*next);
+        }
+        for (auto& router : task->routers) router->send_eos();
+      };
+
+      if (task->source != nullptr) {
+        task->source->open(context);
+        BoundedSourceContext source_context(*task->entry, state->cancelled,
+                                            runtime->records_in);
+        task->source->run(source_context);
+        close_chain();
+        return;
+      }
+
+      int eos_seen = 0;
+      while (eos_seen < task->eos_expected) {
+        auto envelope = task->input->pop();
+        if (!envelope.has_value()) break;  // channel closed defensively
+        if (envelope->eos) {
+          ++eos_seen;
+          continue;
+        }
+        runtime->records_in.fetch_add(1, std::memory_order_relaxed);
+        task->entry->collect(std::move(envelope->payload));
+      }
+      close_chain();
+    });
+  }
+  return state;
+}
+
+}  // namespace
+
+Result<JobResult> execute_job(const StreamGraph& graph,
+                              const JobGraph& job_graph,
+                              const JobConfig& config) {
+  auto state = launch(graph, job_graph, config);
+  if (!state.is_ok()) return state.status();
+  return state.value()->join();
+}
+
+Result<std::unique_ptr<JobHandle>> execute_job_async(
+    const StreamGraph& graph, const JobGraph& job_graph,
+    const JobConfig& config) {
+  auto state = launch(graph, job_graph, config);
+  if (!state.is_ok()) return state.status();
+  auto handle = std::unique_ptr<JobHandle>(new JobHandle());
+  handle->state_ = std::move(state).value();
+  return handle;
+}
+
+}  // namespace dsps::flink

@@ -1,0 +1,95 @@
+// Flink-sim runtime: JobManager scheduling into TaskManager slots, network
+// channels between unchained vertices, and per-subtask task threads.
+//
+// Mirrors §II-B: the client submits a JobGraph; the JobManager assigns each
+// subtask to a task slot; a TaskManager is a process with >= 1 slots whose
+// subtasks run as threads; chained operator subtasks share a thread and call
+// each other directly, unchained vertices exchange records over channels.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/queue.hpp"
+#include "common/status.hpp"
+#include "flink/graph.hpp"
+
+namespace dsps::flink {
+
+/// A record or end-of-stream marker travelling over a channel.
+struct Envelope {
+  Elem payload;
+  bool eos = false;
+};
+
+using Channel = BoundedQueue<Envelope>;
+
+/// One TaskManager: a bundle of task slots. Slot accounting is real —
+/// scheduling fails when the cluster has fewer slots than subtasks — and
+/// each scheduled subtask runs on its own thread within the slot, like
+/// subtask threads inside a TaskManager JVM.
+struct TaskManagerConfig {
+  std::string name = "taskmanager-0";
+  int task_slots = 1;
+};
+
+struct JobConfig {
+  std::vector<TaskManagerConfig> task_managers;
+  bool chaining_enabled = true;
+  std::size_t channel_capacity = 1024;
+};
+
+/// Per-vertex record counters observed after the job finished.
+struct VertexMetrics {
+  std::string display_name;
+  std::uint64_t records_in = 0;
+  std::uint64_t records_out = 0;
+};
+
+struct JobResult {
+  double duration_ms = 0.0;
+  std::vector<VertexMetrics> vertices;
+};
+
+/// Executes a bounded job to completion. Returns metrics or a scheduling /
+/// validation error.
+Result<JobResult> execute_job(const StreamGraph& graph,
+                              const JobGraph& job_graph,
+                              const JobConfig& config);
+
+/// Running job handle for unbounded sources.
+class JobHandle {
+ public:
+  JobHandle() = default;
+  ~JobHandle();
+
+  JobHandle(const JobHandle&) = delete;
+  JobHandle& operator=(const JobHandle&) = delete;
+
+  /// Requests source cancellation; sources observe SourceContext::cancelled.
+  void cancel();
+
+  /// Blocks until all tasks finished; returns metrics.
+  JobResult wait();
+
+  /// Opaque runtime state; public so the launcher in runtime.cpp can attach
+  /// it, but not part of the supported API surface.
+  struct State;
+
+ private:
+  friend Result<std::unique_ptr<JobHandle>> execute_job_async(
+      const StreamGraph&, const JobGraph&, const JobConfig&);
+
+  std::shared_ptr<State> state_;
+};
+
+Result<std::unique_ptr<JobHandle>> execute_job_async(
+    const StreamGraph& graph, const JobGraph& job_graph,
+    const JobConfig& config);
+
+}  // namespace dsps::flink

@@ -1,0 +1,106 @@
+#include "harness/benchmark.hpp"
+
+#include "common/clock.hpp"
+#include "workload/aol_generator.hpp"
+#include "workload/data_sender.hpp"
+
+namespace dsps::harness {
+
+std::string setup_label(const SetupKey& key) {
+  std::string label = queries::engine_name(key.engine);
+  if (key.sdk == queries::Sdk::kBeam) label += " Beam";
+  label += " P" + std::to_string(key.parallelism);
+  return label;
+}
+
+std::vector<double> SetupMeasurements::execution_times() const {
+  std::vector<double> times;
+  times.reserve(runs.size());
+  for (const auto& run : runs) times.push_back(run.execution_seconds);
+  return times;
+}
+
+BenchmarkHarness::BenchmarkHarness(HarnessConfig config)
+    : config_(config), noise_(config.noise) {
+  broker_.set_rtt_us(config_.broker_rtt_us);
+}
+
+std::uint64_t BenchmarkHarness::expected_grep_matches() const {
+  workload::AolGenerator generator(workload::AolGeneratorConfig{
+      .record_count = config_.records, .seed = config_.seed});
+  return generator.grep_match_count();
+}
+
+Status BenchmarkHarness::ingest() {
+  if (ingested_) return Status::ok();
+  if (Status s = workload::create_benchmark_topic(broker_, input_topic_);
+      !s.is_ok()) {
+    return s;
+  }
+  workload::AolGenerator generator(workload::AolGeneratorConfig{
+      .record_count = config_.records, .seed = config_.seed});
+  workload::DataSender sender(
+      broker_, workload::DataSenderConfig{.topic = input_topic_});
+  auto report = sender.send_generated(generator);
+  if (!report.is_ok()) return report.status();
+  ingested_ = true;
+  return Status::ok();
+}
+
+Result<RunMeasurement> BenchmarkHarness::run_once(const SetupKey& key) {
+  if (Status s = ingest(); !s.is_ok()) return s;
+
+  const std::string output_topic =
+      "benchmark-output-" + std::to_string(next_output_id_++);
+  if (Status s = workload::create_benchmark_topic(broker_, output_topic);
+      !s.is_ok()) {
+    return s;
+  }
+
+  queries::QueryContext ctx;
+  ctx.broker = &broker_;
+  ctx.input_topic = input_topic_;
+  ctx.output_topic = output_topic;
+  ctx.parallelism = key.parallelism;
+  ctx.seed = config_.seed;
+
+  RunMeasurement measurement;
+  // Optional seeded noise (Table III's outlier analysis): pause before the
+  // run, emulating a co-tenant VM stealing the machine mid-benchmark.
+  measurement.injected_pause_ms = noise_.maybe_pause();
+
+  Stopwatch wall;
+  // Noise pauses model interference *during* the run; fold the pause into
+  // the run by injecting it between engine start and measurement end: we
+  // approximate by running the query after the pause and adding the pause
+  // to the measured execution time below.
+  Status run = queries::run_query(key.engine, key.sdk, key.query, ctx);
+  measurement.wall_seconds = wall.elapsed_seconds();
+  if (!run.is_ok()) {
+    (void)broker_.delete_topic(output_topic);
+    return run;
+  }
+
+  ResultCalculator calculator(broker_);
+  auto result = calculator.calculate(output_topic);
+  (void)broker_.delete_topic(output_topic);
+  if (!result.is_ok()) return result.status();
+  measurement.execution_seconds =
+      result.value().execution_seconds +
+      static_cast<double>(measurement.injected_pause_ms) / 1e3;
+  measurement.output_records = result.value().output_records;
+  return measurement;
+}
+
+Result<SetupMeasurements> BenchmarkHarness::run_setup(const SetupKey& key) {
+  SetupMeasurements measurements;
+  measurements.key = key;
+  for (int r = 0; r < config_.runs; ++r) {
+    auto run = run_once(key);
+    if (!run.is_ok()) return run.status();
+    measurements.runs.push_back(run.value());
+  }
+  return measurements;
+}
+
+}  // namespace dsps::harness

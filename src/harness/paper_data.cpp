@@ -1,0 +1,90 @@
+#include "harness/paper_data.hpp"
+
+#include <stdexcept>
+
+namespace dsps::harness::paper {
+
+using workload::QueryId;
+
+const std::map<std::string, double>& execution_times(QueryId query) {
+  // Fig. 6 (identity), Fig. 7 (sample), Fig. 8 (projection), Fig. 9 (grep).
+  static const std::map<std::string, double> identity = {
+      {"Apex Beam P1", 237.53}, {"Apex Beam P2", 241.01},
+      {"Apex P1", 3.35},        {"Apex P2", 5.71},
+      {"Flink Beam P1", 30.28}, {"Flink Beam P2", 32.97},
+      {"Flink P1", 6.52},       {"Flink P2", 3.74},
+      {"Spark Beam P1", 7.51},  {"Spark Beam P2", 12.75},
+      {"Spark P1", 3.26},       {"Spark P2", 3.23},
+  };
+  static const std::map<std::string, double> sample = {
+      {"Apex Beam P1", 118.74}, {"Apex Beam P2", 125.67},
+      {"Apex P1", 4.1},         {"Apex P2", 3.55},
+      {"Flink Beam P1", 26.62}, {"Flink Beam P2", 26.88},
+      {"Flink P1", 2.09},       {"Flink P2", 3.0},
+      {"Spark Beam P1", 11.0},  {"Spark Beam P2", 11.48},
+      {"Spark P1", 2.23},       {"Spark P2", 2.16},
+  };
+  static const std::map<std::string, double> projection = {
+      {"Apex Beam P1", 229.91}, {"Apex Beam P2", 241.35},
+      {"Apex P1", 4.75},        {"Apex P2", 3.52},
+      {"Flink Beam P1", 33.54}, {"Flink Beam P2", 33.33},
+      {"Flink P1", 6.1},        {"Flink P2", 5.47},
+      {"Spark Beam P1", 10.07}, {"Spark Beam P2", 14.73},
+      {"Spark P1", 3.18},       {"Spark P2", 3.48},
+  };
+  static const std::map<std::string, double> grep = {
+      {"Apex Beam P1", 3.76},   {"Apex Beam P2", 2.58},
+      {"Apex P1", 3.58},        {"Apex P2", 3.37},
+      {"Flink Beam P1", 20.03}, {"Flink Beam P2", 20.46},
+      {"Flink P1", 1.58},       {"Flink P2", 1.43},
+      {"Spark Beam P1", 6.34},  {"Spark Beam P2", 11.8},
+      {"Spark P1", 1.28},       {"Spark P2", 1.21},
+  };
+  switch (query) {
+    case QueryId::kIdentity: return identity;
+    case QueryId::kSample: return sample;
+    case QueryId::kProjection: return projection;
+    case QueryId::kGrep: return grep;
+  }
+  throw std::invalid_argument("unknown query");
+}
+
+const std::map<std::string, double>& relative_stddevs() {
+  static const std::map<std::string, double> values = {
+      {"Apex Beam Grep", 0.12},        {"Apex Beam Identity", 0.0315},
+      {"Apex Beam Projection", 0.0457},{"Apex Beam Sample", 0.14},
+      {"Apex Grep", 0.0904},           {"Apex Identity", 0.15},
+      {"Apex Projection", 0.11},       {"Apex Sample", 0.0912},
+      {"Flink Beam Grep", 0.0443},     {"Flink Beam Identity", 0.0312},
+      {"Flink Beam Projection", 0.0625},{"Flink Beam Sample", 0.0489},
+      {"Flink Grep", 0.11},            {"Flink Identity", 0.54},
+      {"Flink Projection", 0.087},     {"Flink Sample", 0.23},
+      {"Spark Beam Grep", 0.043},      {"Spark Beam Identity", 0.0914},
+      {"Spark Beam Projection", 0.0932},{"Spark Beam Sample", 0.0551},
+      {"Spark Grep", 0.0816},          {"Spark Identity", 0.15},
+      {"Spark Projection", 0.23},      {"Spark Sample", 0.2},
+  };
+  return values;
+}
+
+const std::map<std::string, double>& slowdown_factors() {
+  static const std::map<std::string, double> values = {
+      {"Apex Identity", 56.58},  {"Apex Sample", 32.17},
+      {"Apex Projection", 58.46},{"Apex Grep", 0.91},
+      {"Flink Identity", 6.73},  {"Flink Sample", 10.87},
+      {"Flink Projection", 5.79},{"Flink Grep", 13.51},
+      {"Spark Identity", 3.13},  {"Spark Sample", 5.13},
+      {"Spark Projection", 3.7}, {"Spark Grep", 7.37},
+  };
+  return values;
+}
+
+const FlinkIdentityRuns& flink_identity_runs() {
+  static const FlinkIdentityRuns runs = {
+      .p1 = {6.25, 21.56, 3.42, 3.31, 3.73, 12.69, 3.90, 3.96, 3.42, 3.01},
+      .p2 = {4.15, 3.77, 2.71, 5.29, 3.00, 3.93, 2.90, 3.66, 3.57, 4.45},
+  };
+  return runs;
+}
+
+}  // namespace dsps::harness::paper

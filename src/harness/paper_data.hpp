@@ -1,0 +1,31 @@
+// The paper's published numbers, transcribed from Figs. 6-11 and Table III.
+// Benches print measured-vs-paper tables from these so the reproduction's
+// *shape* (orderings, ratios) can be checked at a glance.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workload/streambench.hpp"
+
+namespace dsps::harness::paper {
+
+/// Average execution times in seconds, keyed by the y-axis labels of
+/// Figs. 6-9 ("Apex Beam P1", ..., "Spark P2").
+const std::map<std::string, double>& execution_times(workload::QueryId query);
+
+/// Relative standard deviations of Fig. 10, keyed "Apex Beam Grep" style.
+const std::map<std::string, double>& relative_stddevs();
+
+/// Slowdown factors of Fig. 11, keyed "Apex Identity" style.
+const std::map<std::string, double>& slowdown_factors();
+
+/// Table III: per-run identity times on Flink, parallelism 1 and 2.
+struct FlinkIdentityRuns {
+  std::vector<double> p1;
+  std::vector<double> p2;
+};
+const FlinkIdentityRuns& flink_identity_runs();
+
+}  // namespace dsps::harness::paper

@@ -1,0 +1,92 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace dsps::harness {
+
+std::string render_figure(const Figure& figure) {
+  std::string out = figure.title + "\n";
+  std::size_t label_width = 0;
+  double max_value = 0.0;
+  for (const auto& row : figure.rows) {
+    label_width = std::max(label_width, row.label.size());
+    max_value = std::max(max_value, row.value);
+  }
+  constexpr int kBarWidth = 46;
+  for (const auto& row : figure.rows) {
+    const int bar =
+        max_value <= 0.0
+            ? 0
+            : static_cast<int>(std::lround(row.value / max_value * kBarWidth));
+    out += "  " + pad_right(row.label, label_width) + " |" +
+           std::string(static_cast<std::size_t>(bar), '#') +
+           std::string(static_cast<std::size_t>(kBarWidth - bar), ' ') +
+           "| " + format_double(row.value, 4) + "\n";
+  }
+  out += "  (" + figure.value_axis + ")\n";
+  return out;
+}
+
+std::string render_comparison(const Figure& measured,
+                              const std::map<std::string, double>& paper,
+                              const std::string& paper_caption) {
+  double min_measured = 0.0;
+  double min_paper = 0.0;
+  bool first = true;
+  for (const auto& row : measured.rows) {
+    const auto it = paper.find(row.label);
+    if (it == paper.end()) continue;
+    if (first || row.value < min_measured) min_measured = row.value;
+    if (first || it->second < min_paper) min_paper = it->second;
+    first = false;
+  }
+  if (min_measured <= 0.0) min_measured = 1.0;
+  if (min_paper <= 0.0) min_paper = 1.0;
+
+  std::size_t label_width = std::string("setup").size();
+  for (const auto& row : measured.rows) {
+    label_width = std::max(label_width, row.label.size());
+  }
+
+  std::string out = "measured vs " + paper_caption + "\n";
+  out += "  " + pad_right("setup", label_width) + "  " +
+         pad_left("measured", 12) + pad_left("x-min", 9) +
+         pad_left("paper", 12) + pad_left("x-min", 9) + "\n";
+  for (const auto& row : measured.rows) {
+    const auto it = paper.find(row.label);
+    out += "  " + pad_right(row.label, label_width) + "  " +
+           pad_left(format_double(row.value, 4), 12) +
+           pad_left(format_double(row.value / min_measured, 1), 9);
+    if (it != paper.end()) {
+      out += pad_left(format_double(it->second, 2), 12) +
+             pad_left(format_double(it->second / min_paper, 1), 9);
+    } else {
+      out += pad_left("-", 12) + pad_left("-", 9);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string to_csv(const MeasurementSet& set) {
+  std::string out =
+      "engine,sdk,query,parallelism,run,execution_seconds,output_records\n";
+  for (const auto& [label, measurements] : set.all()) {
+    const auto& key = measurements.key;
+    for (std::size_t r = 0; r < measurements.runs.size(); ++r) {
+      out += std::string(queries::engine_name(key.engine)) + "," +
+             queries::sdk_name(key.sdk) + "," +
+             workload::query_info(key.query).name + "," +
+             std::to_string(key.parallelism) + "," + std::to_string(r + 1) +
+             "," + format_double(measurements.runs[r].execution_seconds, 6) +
+             "," + std::to_string(measurements.runs[r].output_records) +
+             "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace dsps::harness

@@ -1,0 +1,26 @@
+// Rendering: ASCII bar charts of figures, and measured-vs-paper tables.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "harness/figures.hpp"
+
+namespace dsps::harness {
+
+/// Horizontal ASCII bar chart, one row per figure entry.
+std::string render_figure(const Figure& figure);
+
+/// Side-by-side measured vs paper values with the ratio of each column's
+/// value to the column minimum, so orderings/shapes compare directly even
+/// though absolute times differ by construction.
+std::string render_comparison(const Figure& measured,
+                              const std::map<std::string, double>& paper,
+                              const std::string& paper_caption);
+
+/// Raw per-run measurements as CSV
+/// (engine,sdk,query,parallelism,run,execution_seconds,output_records)
+/// for plotting outside this repo.
+std::string to_csv(const MeasurementSet& set);
+
+}  // namespace dsps::harness

@@ -1,0 +1,34 @@
+#include "harness/result_calculator.hpp"
+
+namespace dsps::harness {
+
+Result<QueryResult> ResultCalculator::calculate(
+    const std::string& output_topic) const {
+  const auto partitions = broker_.partition_count(output_topic);
+  if (!partitions.is_ok()) return partitions.status();
+
+  QueryResult result;
+  bool any = false;
+  for (int p = 0; p < partitions.value(); ++p) {
+    const auto info = broker_.partition_info({output_topic, p});
+    if (!info.is_ok()) return info.status();
+    if (info.value().record_count == 0) continue;
+    result.output_records += info.value().record_count;
+    if (!any || info.value().first_timestamp < result.first_append) {
+      result.first_append = info.value().first_timestamp;
+    }
+    if (!any || info.value().last_timestamp > result.last_append) {
+      result.last_append = info.value().last_timestamp;
+    }
+    any = true;
+  }
+  if (!any) {
+    return Status::failed_precondition("output topic is empty: " +
+                                       output_topic);
+  }
+  result.execution_seconds =
+      timestamp_delta_seconds(result.last_append - result.first_append);
+  return result;
+}
+
+}  // namespace dsps::harness

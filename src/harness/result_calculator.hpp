@@ -1,0 +1,35 @@
+// Result calculator: benchmark phase 3 (§III-A2/3).
+//
+// Reads the query output topic and computes the execution time as the
+// difference between the LogAppendTime of the first and the last output
+// record — application- and system-independent, because the stamping
+// happens in the broker, not in the system under test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+#include "kafka/broker.hpp"
+
+namespace dsps::harness {
+
+struct QueryResult {
+  double execution_seconds = 0.0;
+  std::int64_t output_records = 0;
+  Timestamp first_append = 0;
+  Timestamp last_append = 0;
+};
+
+class ResultCalculator {
+ public:
+  explicit ResultCalculator(kafka::Broker& broker) : broker_(broker) {}
+
+  /// Computes the execution time for a (single-partition) output topic.
+  Result<QueryResult> calculate(const std::string& output_topic) const;
+
+ private:
+  kafka::Broker& broker_;
+};
+
+}  // namespace dsps::harness

@@ -1,0 +1,184 @@
+#include "kafka/broker.hpp"
+
+#include <utility>
+
+namespace dsps::kafka {
+
+Status Broker::create_topic(const std::string& name,
+                            const TopicConfig& config) {
+  if (config.partitions < 1) {
+    return Status::invalid_argument("topic needs at least one partition");
+  }
+  if (config.replication_factor < 1) {
+    return Status::invalid_argument("replication factor must be >= 1");
+  }
+  std::lock_guard lock(mutex_);
+  if (topics_.contains(name)) {
+    return Status::already_exists("topic exists: " + name);
+  }
+  Topic topic;
+  topic.config = config;
+  topic.replicas.resize(static_cast<std::size_t>(config.replication_factor));
+  for (auto& replica : topic.replicas) {
+    replica.reserve(static_cast<std::size_t>(config.partitions));
+    for (int p = 0; p < config.partitions; ++p) {
+      replica.push_back(
+          std::make_unique<PartitionLog>(config.timestamp_type));
+    }
+  }
+  topics_.emplace(name, std::move(topic));
+  return Status::ok();
+}
+
+Status Broker::delete_topic(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  if (topics_.erase(name) == 0) {
+    return Status::not_found("topic not found: " + name);
+  }
+  return Status::ok();
+}
+
+bool Broker::topic_exists(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  return topics_.contains(name);
+}
+
+Result<TopicMetadata> Broker::describe_topic(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = topics_.find(name);
+  if (it == topics_.end()) {
+    return Status::not_found("topic not found: " + name);
+  }
+  return TopicMetadata{.name = name, .config = it->second.config};
+}
+
+std::vector<std::string> Broker::list_topics() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(topics_.size());
+  for (const auto& [name, topic] : topics_) names.push_back(name);
+  return names;
+}
+
+const Broker::Topic* Broker::find_topic(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = topics_.find(name);
+  return it == topics_.end() ? nullptr : &it->second;
+}
+
+Result<const Broker::Topic*> Broker::topic_for(const TopicPartition& tp) const {
+  const Topic* topic = find_topic(tp.topic);
+  if (topic == nullptr) {
+    return Status::not_found("topic not found: " + tp.topic);
+  }
+  if (tp.partition < 0 ||
+      tp.partition >= topic->config.partitions) {
+    return Status::invalid_argument("partition out of range for " + tp.topic);
+  }
+  return topic;
+}
+
+Result<std::int64_t> Broker::append(const TopicPartition& tp,
+                                    const ProducerRecord& record,
+                                    bool wait_for_replication) {
+  auto topic = topic_for(tp);
+  if (!topic.is_ok()) return topic.status();
+  const auto p = static_cast<std::size_t>(tp.partition);
+  const std::int64_t offset = topic.value()->replicas[0][p]->append(record);
+  if (wait_for_replication) {
+    for (std::size_t r = 1; r < topic.value()->replicas.size(); ++r) {
+      topic.value()->replicas[r][p]->append(record);
+    }
+  }
+  return offset;
+}
+
+Result<std::int64_t> Broker::append_batch(
+    const TopicPartition& tp, const std::vector<ProducerRecord>& records,
+    bool wait_for_replication) {
+  auto topic = topic_for(tp);
+  if (!topic.is_ok()) return topic.status();
+  const auto p = static_cast<std::size_t>(tp.partition);
+  const std::int64_t last =
+      topic.value()->replicas[0][p]->append_batch(records);
+  if (wait_for_replication) {
+    for (std::size_t r = 1; r < topic.value()->replicas.size(); ++r) {
+      topic.value()->replicas[r][p]->append_batch(records);
+    }
+  }
+  return last;
+}
+
+Result<std::size_t> Broker::fetch(const TopicPartition& tp,
+                                  std::int64_t offset,
+                                  std::size_t max_records,
+                                  std::vector<StoredRecord>& out) const {
+  auto topic = topic_for(tp);
+  if (!topic.is_ok()) return topic.status();
+  const auto p = static_cast<std::size_t>(tp.partition);
+  return topic.value()->replicas[0][p]->fetch(offset, max_records, out);
+}
+
+Result<std::size_t> Broker::fetch_blocking(const TopicPartition& tp,
+                                           std::int64_t offset,
+                                           std::size_t max_records,
+                                           std::int64_t timeout_ms,
+                                           std::vector<StoredRecord>& out)
+    const {
+  auto topic = topic_for(tp);
+  if (!topic.is_ok()) return topic.status();
+  const auto p = static_cast<std::size_t>(tp.partition);
+  return topic.value()->replicas[0][p]->fetch_blocking(offset, max_records,
+                                                       timeout_ms, out);
+}
+
+Result<std::int64_t> Broker::end_offset(const TopicPartition& tp) const {
+  auto topic = topic_for(tp);
+  if (!topic.is_ok()) return topic.status();
+  const auto p = static_cast<std::size_t>(tp.partition);
+  return topic.value()->replicas[0][p]->end_offset();
+}
+
+Result<PartitionInfo> Broker::partition_info(const TopicPartition& tp) const {
+  auto topic = topic_for(tp);
+  if (!topic.is_ok()) return topic.status();
+  const auto p = static_cast<std::size_t>(tp.partition);
+  return topic.value()->replicas[0][p]->info();
+}
+
+Result<std::int64_t> Broker::offset_for_time(const TopicPartition& tp,
+                                             Timestamp timestamp) const {
+  auto topic = topic_for(tp);
+  if (!topic.is_ok()) return topic.status();
+  const auto p = static_cast<std::size_t>(tp.partition);
+  return topic.value()->replicas[0][p]->offset_for_time(timestamp);
+}
+
+Result<int> Broker::partition_count(const std::string& topic) const {
+  std::lock_guard lock(mutex_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) {
+    return Status::not_found("topic not found: " + topic);
+  }
+  return it->second.config.partitions;
+}
+
+void Broker::commit_offset(const std::string& group, const TopicPartition& tp,
+                           std::int64_t offset) {
+  std::lock_guard lock(offsets_mutex_);
+  group_offsets_[group][tp.topic][tp.partition] = offset;
+}
+
+std::int64_t Broker::committed_offset(const std::string& group,
+                                      const TopicPartition& tp) const {
+  std::lock_guard lock(offsets_mutex_);
+  const auto group_it = group_offsets_.find(group);
+  if (group_it == group_offsets_.end()) return -1;
+  const auto topic_it = group_it->second.find(tp.topic);
+  if (topic_it == group_it->second.end()) return -1;
+  const auto part_it = topic_it->second.find(tp.partition);
+  if (part_it == topic_it->second.end()) return -1;
+  return part_it->second;
+}
+
+}  // namespace dsps::kafka

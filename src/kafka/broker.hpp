@@ -1,0 +1,110 @@
+// MiniKafka broker: topic management and the append/fetch data plane.
+//
+// Replication is bookkept (a topic has a replication factor and per-replica
+// high-water marks) but replicas live in the same process; `acks=all`
+// therefore waits for the simulated follower appends, which is the
+// behavioural difference the data sender's ack setting controls.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "kafka/partition_log.hpp"
+#include "kafka/record.hpp"
+
+namespace dsps::kafka {
+
+struct TopicConfig {
+  int partitions = 1;
+  int replication_factor = 1;
+  TimestampType timestamp_type = TimestampType::kLogAppendTime;
+};
+
+struct TopicMetadata {
+  std::string name;
+  TopicConfig config;
+};
+
+class Broker {
+ public:
+  Broker() = default;
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  /// Simulated client<->broker network round-trip time, paid by producers
+  /// once per *flush* (not per buffered record). The paper's brokers sat on
+  /// separate VMs; a sink that produces record-by-record pays one RTT per
+  /// record while a batching sink amortizes it — the mechanism behind the
+  /// output-volume-proportional Beam penalty on Apex (§III-C3). Default 0.
+  void set_rtt_us(std::int64_t rtt_us) noexcept { rtt_us_.store(rtt_us); }
+  std::int64_t rtt_us() const noexcept { return rtt_us_.load(); }
+
+  Status create_topic(const std::string& name, const TopicConfig& config);
+  Status delete_topic(const std::string& name);
+  bool topic_exists(const std::string& name) const;
+  Result<TopicMetadata> describe_topic(const std::string& name) const;
+  std::vector<std::string> list_topics() const;
+
+  /// Appends to the leader replica; when `wait_for_replication` (acks=all),
+  /// also appends to every follower replica before returning.
+  Result<std::int64_t> append(const TopicPartition& tp,
+                              const ProducerRecord& record,
+                              bool wait_for_replication);
+
+  Result<std::int64_t> append_batch(const TopicPartition& tp,
+                                    const std::vector<ProducerRecord>& records,
+                                    bool wait_for_replication);
+
+  /// Non-blocking fetch from the leader replica.
+  Result<std::size_t> fetch(const TopicPartition& tp, std::int64_t offset,
+                            std::size_t max_records,
+                            std::vector<StoredRecord>& out) const;
+
+  /// Blocking fetch (up to `timeout_ms`) from the leader replica.
+  Result<std::size_t> fetch_blocking(const TopicPartition& tp,
+                                     std::int64_t offset,
+                                     std::size_t max_records,
+                                     std::int64_t timeout_ms,
+                                     std::vector<StoredRecord>& out) const;
+
+  Result<std::int64_t> end_offset(const TopicPartition& tp) const;
+  Result<PartitionInfo> partition_info(const TopicPartition& tp) const;
+  Result<int> partition_count(const std::string& topic) const;
+
+  /// Kafka's offsetsForTimes: the earliest offset whose record timestamp is
+  /// >= `timestamp`, or the end offset when every record is older.
+  Result<std::int64_t> offset_for_time(const TopicPartition& tp,
+                                       Timestamp timestamp) const;
+
+  /// Consumer-group offset commit store (the __consumer_offsets analogue).
+  void commit_offset(const std::string& group, const TopicPartition& tp,
+                     std::int64_t offset);
+  /// Returns -1 when the group has no committed offset for the partition.
+  std::int64_t committed_offset(const std::string& group,
+                                const TopicPartition& tp) const;
+
+ private:
+  struct Topic {
+    TopicConfig config;
+    // replicas[r][p] — replica r of partition p; replica 0 is the leader.
+    std::vector<std::vector<std::unique_ptr<PartitionLog>>> replicas;
+  };
+
+  const Topic* find_topic(const std::string& name) const;
+  Result<const Topic*> topic_for(const TopicPartition& tp) const;
+
+  std::atomic<std::int64_t> rtt_us_{0};
+  mutable std::mutex mutex_;  // guards the topic map, not the logs
+  std::map<std::string, Topic> topics_;
+  std::map<std::string, std::map<std::string, std::map<int, std::int64_t>>>
+      group_offsets_;  // group -> topic -> partition -> offset
+  mutable std::mutex offsets_mutex_;
+};
+
+}  // namespace dsps::kafka

@@ -1,0 +1,116 @@
+#include "kafka/consumer.hpp"
+
+#include <utility>
+
+namespace dsps::kafka {
+
+Consumer::Consumer(Broker& broker, ConsumerConfig config)
+    : broker_(broker), config_(std::move(config)) {}
+
+Status Consumer::subscribe(const std::string& topic) {
+  auto partitions = broker_.partition_count(topic);
+  if (!partitions.is_ok()) return partitions.status();
+  for (int p = 0; p < partitions.value(); ++p) {
+    const TopicPartition tp{topic, p};
+    std::int64_t offset = 0;
+    if (!config_.group_id.empty()) {
+      const std::int64_t committed =
+          broker_.committed_offset(config_.group_id, tp);
+      if (committed >= 0) offset = committed;
+    }
+    assignments_.push_back(Assignment{.tp = tp, .position = offset});
+  }
+  return Status::ok();
+}
+
+Status Consumer::assign(const TopicPartition& tp, std::int64_t offset) {
+  if (!broker_.topic_exists(tp.topic)) {
+    return Status::not_found("topic not found: " + tp.topic);
+  }
+  assignments_.push_back(Assignment{.tp = tp, .position = offset});
+  return Status::ok();
+}
+
+std::vector<ConsumedRecord> Consumer::poll(std::int64_t timeout_ms) {
+  std::vector<ConsumedRecord> out;
+  if (assignments_.empty()) return out;
+
+  std::vector<StoredRecord> fetched;
+  // First pass: non-blocking round-robin over assignments.
+  for (std::size_t i = 0; i < assignments_.size(); ++i) {
+    auto& assignment = assignments_[next_partition_];
+    next_partition_ = (next_partition_ + 1) % assignments_.size();
+    fetched.clear();
+    const auto fetched_count =
+        broker_.fetch(assignment.tp, assignment.position,
+                      config_.max_poll_records - out.size(), fetched);
+    if (fetched_count.is_ok() && fetched_count.value() > 0) {
+      for (auto& record : fetched) {
+        out.push_back(ConsumedRecord{.tp = assignment.tp,
+                                     .offset = record.offset,
+                                     .key = std::move(record.key),
+                                     .value = std::move(record.value),
+                                     .timestamp = record.timestamp});
+      }
+      assignment.position += static_cast<std::int64_t>(fetched_count.value());
+      if (out.size() >= config_.max_poll_records) return out;
+    }
+  }
+  if (!out.empty() || timeout_ms <= 0) return out;
+
+  // Nothing available: block on the first assignment for the timeout.
+  auto& assignment = assignments_.front();
+  fetched.clear();
+  const auto fetched_count = broker_.fetch_blocking(
+      assignment.tp, assignment.position, config_.max_poll_records,
+      timeout_ms, fetched);
+  if (fetched_count.is_ok()) {
+    for (auto& record : fetched) {
+      out.push_back(ConsumedRecord{.tp = assignment.tp,
+                                   .offset = record.offset,
+                                   .key = std::move(record.key),
+                                   .value = std::move(record.value),
+                                   .timestamp = record.timestamp});
+    }
+    assignment.position += static_cast<std::int64_t>(fetched_count.value());
+  }
+  return out;
+}
+
+Status Consumer::seek(const TopicPartition& tp, std::int64_t offset) {
+  for (auto& assignment : assignments_) {
+    if (assignment.tp == tp) {
+      assignment.position = offset;
+      return Status::ok();
+    }
+  }
+  return Status::not_found("partition not assigned: " + tp.topic);
+}
+
+void Consumer::commit() {
+  if (config_.group_id.empty()) return;
+  for (const auto& assignment : assignments_) {
+    broker_.commit_offset(config_.group_id, assignment.tp,
+                          assignment.position);
+  }
+}
+
+std::vector<std::pair<TopicPartition, std::int64_t>> Consumer::positions()
+    const {
+  std::vector<std::pair<TopicPartition, std::int64_t>> out;
+  out.reserve(assignments_.size());
+  for (const auto& assignment : assignments_) {
+    out.emplace_back(assignment.tp, assignment.position);
+  }
+  return out;
+}
+
+bool Consumer::at_end() const {
+  for (const auto& assignment : assignments_) {
+    const auto end = broker_.end_offset(assignment.tp);
+    if (!end.is_ok() || assignment.position < end.value()) return false;
+  }
+  return true;
+}
+
+}  // namespace dsps::kafka

@@ -1,0 +1,72 @@
+// MiniKafka consumer: manual-assignment polling with optional consumer-group
+// offset commits (used by the engines' replay-on-restart recovery hooks).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "kafka/broker.hpp"
+#include "kafka/record.hpp"
+
+namespace dsps::kafka {
+
+/// A record as returned by Consumer::poll (adds its origin partition).
+struct ConsumedRecord {
+  TopicPartition tp;
+  std::int64_t offset = 0;
+  std::string key;
+  std::string value;
+  Timestamp timestamp = 0;
+};
+
+struct ConsumerConfig {
+  /// Optional consumer group for offset commits; empty = no group.
+  std::string group_id;
+  std::size_t max_poll_records = 1000;
+};
+
+class Consumer {
+ public:
+  Consumer(Broker& broker, ConsumerConfig config = {});
+
+  Consumer(const Consumer&) = delete;
+  Consumer& operator=(const Consumer&) = delete;
+
+  /// Assigns all partitions of `topic`, starting from the committed offset
+  /// of the consumer group (or 0 without a group / commit).
+  Status subscribe(const std::string& topic);
+
+  /// Assigns exactly one partition.
+  Status assign(const TopicPartition& tp, std::int64_t offset);
+
+  /// Polls all assigned partitions; blocks up to `timeout_ms` when no data
+  /// is immediately available. Returns the records (possibly empty).
+  std::vector<ConsumedRecord> poll(std::int64_t timeout_ms);
+
+  /// Moves the position of `tp` to `offset`.
+  Status seek(const TopicPartition& tp, std::int64_t offset);
+
+  /// Commits current positions to the consumer group (no-op without group).
+  void commit();
+
+  /// Current fetch position per assigned partition.
+  std::vector<std::pair<TopicPartition, std::int64_t>> positions() const;
+
+  /// True once every assigned partition is fully consumed *right now*.
+  bool at_end() const;
+
+ private:
+  struct Assignment {
+    TopicPartition tp;
+    std::int64_t position = 0;
+  };
+
+  Broker& broker_;
+  ConsumerConfig config_;
+  std::vector<Assignment> assignments_;
+  std::size_t next_partition_ = 0;  // round-robin over assignments
+};
+
+}  // namespace dsps::kafka

@@ -1,0 +1,109 @@
+#include "kafka/partition_log.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace dsps::kafka {
+
+std::int64_t PartitionLog::append(const ProducerRecord& record) {
+  std::int64_t offset;
+  {
+    std::lock_guard lock(mutex_);
+    offset = static_cast<std::int64_t>(records_.size());
+    records_.push_back(StoredRecord{
+        .offset = offset,
+        .key = record.key,
+        .value = record.value,
+        .timestamp = timestamp_type_ == TimestampType::kLogAppendTime
+                         ? wall_clock_now()
+                         : record.create_time,
+    });
+  }
+  data_arrived_.notify_all();
+  return offset;
+}
+
+std::int64_t PartitionLog::append_batch(
+    const std::vector<ProducerRecord>& records) {
+  if (records.empty()) return end_offset() - 1;
+  std::int64_t last_offset;
+  {
+    std::lock_guard lock(mutex_);
+    // One timestamp per batch arrival, as a broker stamps at append time.
+    const Timestamp now = wall_clock_now();
+    records_.reserve(records_.size() + records.size());
+    for (const auto& record : records) {
+      const auto offset = static_cast<std::int64_t>(records_.size());
+      records_.push_back(StoredRecord{
+          .offset = offset,
+          .key = record.key,
+          .value = record.value,
+          .timestamp = timestamp_type_ == TimestampType::kLogAppendTime
+                           ? now
+                           : record.create_time,
+      });
+    }
+    last_offset = static_cast<std::int64_t>(records_.size()) - 1;
+  }
+  data_arrived_.notify_all();
+  return last_offset;
+}
+
+std::size_t PartitionLog::fetch(std::int64_t offset, std::size_t max_records,
+                                std::vector<StoredRecord>& out) const {
+  std::lock_guard lock(mutex_);
+  if (offset < 0) offset = 0;
+  const auto start = static_cast<std::size_t>(offset);
+  if (start >= records_.size()) return 0;
+  const std::size_t n = std::min(max_records, records_.size() - start);
+  out.insert(out.end(), records_.begin() + static_cast<std::ptrdiff_t>(start),
+             records_.begin() + static_cast<std::ptrdiff_t>(start + n));
+  return n;
+}
+
+std::size_t PartitionLog::fetch_blocking(std::int64_t offset,
+                                         std::size_t max_records,
+                                         std::int64_t timeout_ms,
+                                         std::vector<StoredRecord>& out) const {
+  std::unique_lock lock(mutex_);
+  if (offset < 0) offset = 0;
+  const auto start = static_cast<std::size_t>(offset);
+  if (start >= records_.size()) {
+    data_arrived_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                           [&] { return start < records_.size(); });
+  }
+  if (start >= records_.size()) return 0;
+  const std::size_t n = std::min(max_records, records_.size() - start);
+  out.insert(out.end(), records_.begin() + static_cast<std::ptrdiff_t>(start),
+             records_.begin() + static_cast<std::ptrdiff_t>(start + n));
+  return n;
+}
+
+std::int64_t PartitionLog::end_offset() const {
+  std::lock_guard lock(mutex_);
+  return static_cast<std::int64_t>(records_.size());
+}
+
+std::int64_t PartitionLog::offset_for_time(Timestamp timestamp) const {
+  std::lock_guard lock(mutex_);
+  const auto it = std::lower_bound(
+      records_.begin(), records_.end(), timestamp,
+      [](const StoredRecord& record, Timestamp t) {
+        return record.timestamp < t;
+      });
+  return it - records_.begin();
+}
+
+PartitionInfo PartitionLog::info() const {
+  std::lock_guard lock(mutex_);
+  PartitionInfo info;
+  info.record_count = static_cast<std::int64_t>(records_.size());
+  info.log_end_offset = info.record_count;
+  if (!records_.empty()) {
+    info.first_timestamp = records_.front().timestamp;
+    info.last_timestamp = records_.back().timestamp;
+  }
+  return info;
+}
+
+}  // namespace dsps::kafka

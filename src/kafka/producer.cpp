@@ -1,0 +1,100 @@
+#include "kafka/producer.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+
+namespace dsps::kafka {
+
+Producer::Producer(Broker& broker, ProducerConfig config)
+    : broker_(broker), config_(config) {
+  require(config_.batch_size >= 1, "producer batch_size must be >= 1");
+}
+
+Producer::~Producer() {
+  // Best effort: drop errors on destruction; call close() to observe them.
+  (void)close();
+}
+
+Producer::Buffer& Producer::buffer_for(const std::string& topic,
+                                       int partition) {
+  for (auto& buffer : buffers_) {
+    if (buffer.tp.partition == partition && buffer.tp.topic == topic) {
+      return buffer;
+    }
+  }
+  buffers_.push_back(Buffer{.tp = {topic, partition}, .records = {}});
+  buffers_.back().records.reserve(config_.batch_size);
+  return buffers_.back();
+}
+
+Status Producer::send(const std::string& topic, int partition,
+                      ProducerRecord record) {
+  if (closed_) return Status::closed("producer is closed");
+  Buffer& buffer = buffer_for(topic, partition);
+  if (buffer.records.empty()) buffer.oldest_buffered_us = steady_clock_us();
+  buffer.records.push_back(std::move(record));
+  ++records_sent_;
+  if (buffer.records.size() >= config_.batch_size ||
+      (config_.linger_us > 0 &&
+       steady_clock_us() - buffer.oldest_buffered_us >= config_.linger_us)) {
+    return flush_buffer(buffer);
+  }
+  return Status::ok();
+}
+
+Status Producer::send(const std::string& topic, std::string key,
+                      std::string value) {
+  auto partitions = broker_.partition_count(topic);
+  if (!partitions.is_ok()) return partitions.status();
+  const int partition =
+      key.empty() ? 0
+                  : static_cast<int>(fnv1a(key) %
+                                     static_cast<std::uint64_t>(
+                                         partitions.value()));
+  return send(topic, partition,
+              ProducerRecord{.key = std::move(key), .value = std::move(value)});
+}
+
+Status Producer::flush_buffer(Buffer& buffer) {
+  if (buffer.records.empty()) return Status::ok();
+  const bool wait_replication = config_.acks == Acks::kAll;
+  Result<std::int64_t> result =
+      buffer.records.size() == 1
+          ? broker_.append(buffer.tp, buffer.records.front(), wait_replication)
+          : broker_.append_batch(buffer.tp, buffer.records, wait_replication);
+  buffer.records.clear();
+  // One network round trip per flush when the broker simulates a network
+  // (acks=0 producers fire and forget: no ack to wait for). Spin-wait:
+  // sleep granularity on a loaded box is tens of microseconds, which would
+  // distort the model at our time scale.
+  if (config_.acks != Acks::kNone) {
+    const std::int64_t rtt_us = broker_.rtt_us();
+    if (rtt_us > 0) {
+      const std::int64_t until = steady_clock_us() + rtt_us;
+      while (steady_clock_us() < until) {
+        // busy wait
+      }
+    }
+  }
+  return result.status();
+}
+
+Status Producer::flush() {
+  for (auto& buffer : buffers_) {
+    if (Status s = flush_buffer(buffer); !s.is_ok()) return s;
+  }
+  return Status::ok();
+}
+
+Status Producer::close() {
+  if (closed_) return Status::ok();
+  Status s = flush();
+  closed_ = true;
+  return s;
+}
+
+}  // namespace dsps::kafka

@@ -1,0 +1,49 @@
+// Record types for MiniKafka, the in-process message broker.
+//
+// MiniKafka reproduces the Kafka semantics the paper's benchmark methodology
+// rests on: per-partition append-only logs with monotonically increasing
+// offsets, order guaranteed only within a partition, and LogAppendTime
+// stamping (the timestamp the broker assigns when a record is appended is
+// stored with the record — §III-A3 uses exactly these timestamps to compute
+// execution times system-independently).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.hpp"
+
+namespace dsps::kafka {
+
+/// How a partition stamps record timestamps.
+enum class TimestampType {
+  kCreateTime,     // producer-supplied timestamp is kept
+  kLogAppendTime,  // broker overwrites with append wall-clock time
+};
+
+/// What a producer sends.
+struct ProducerRecord {
+  std::string key;
+  std::string value;
+  /// Only meaningful under CreateTime; ignored under LogAppendTime.
+  Timestamp create_time = 0;
+};
+
+/// What the log stores and consumers receive.
+struct StoredRecord {
+  std::int64_t offset = 0;
+  std::string key;
+  std::string value;
+  Timestamp timestamp = 0;  // LogAppendTime or CreateTime per topic config
+};
+
+/// Identifies one partition of one topic.
+struct TopicPartition {
+  std::string topic;
+  int partition = 0;
+
+  friend bool operator==(const TopicPartition&,
+                         const TopicPartition&) = default;
+};
+
+}  // namespace dsps::kafka

@@ -1,0 +1,94 @@
+// Native Apex-sim implementations: Kafka input operator -> (query compute
+// operator) -> Kafka output operator on YARN-sim.
+//
+// Placement mirrors how a tuned native Apex application deploys a linear
+// pipeline: THREAD_LOCAL at parallelism 1 (single container, direct calls)
+// and CONTAINER_LOCAL around a partitioned compute operator at higher
+// parallelism (queues, no serialization) — the VCOREs approach of §III-A2.
+#include "queries/query_factory.hpp"
+
+#include "apex/dag.hpp"
+#include "apex/engine.hpp"
+#include "apex/operators_library.hpp"
+#include "yarn/resource_manager.hpp"
+
+namespace dsps::queries {
+
+namespace {
+
+apex::OperatorFactory query_operator_factory(workload::QueryId query,
+                                             const QueryContext& ctx) {
+  using workload::QueryId;
+  switch (query) {
+    case QueryId::kIdentity:
+      return {};  // no compute operator
+    case QueryId::kSample:
+      return apex::filter_string_factory(
+          [seed = ctx.seed](const std::string&) {
+            return workload::sample_keep_threadlocal(seed);
+          });
+    case QueryId::kProjection:
+      return apex::map_string_factory([](const std::string& line) {
+        return workload::projection_of(line);
+      });
+    case QueryId::kGrep:
+      return apex::filter_string_factory([](const std::string& line) {
+        return workload::grep_matches(line);
+      });
+  }
+  throw std::invalid_argument("unknown query");
+}
+
+apex::Dag build_dag(workload::QueryId query, const QueryContext& ctx) {
+  apex::Dag dag;
+  const int input = dag.add_input_operator(
+      "kafkaInput", apex::kafka_input_factory(*ctx.broker, ctx.input_topic));
+  const int output = dag.add_operator(
+      "kafkaOutput",
+      apex::kafka_output_factory(
+          *ctx.broker, apex::KafkaStringOutput::Config{
+                           .topic = ctx.output_topic}));
+
+  apex::OperatorFactory compute = query_operator_factory(query, ctx);
+  if (!compute) {
+    // Identity: input feeds the output operator directly.
+    dag.add_stream("lines", apex::PortRef{input, 0}, apex::PortRef{output, 0},
+                   apex::Locality::kThreadLocal, {});
+    return dag;
+  }
+
+  const int op = dag.add_operator("compute", std::move(compute));
+  if (ctx.parallelism > 1) {
+    dag.set_partitions(op, ctx.parallelism);
+    // Partitioned compute: same container, queues without serialization.
+    dag.add_stream("lines", apex::PortRef{input, 0}, apex::PortRef{op, 0},
+                   apex::Locality::kContainerLocal, {});
+    dag.add_stream("results", apex::PortRef{op, 0}, apex::PortRef{output, 0},
+                   apex::Locality::kContainerLocal, {});
+  } else {
+    dag.add_stream("lines", apex::PortRef{input, 0}, apex::PortRef{op, 0},
+                   apex::Locality::kThreadLocal, {});
+    dag.add_stream("results", apex::PortRef{op, 0}, apex::PortRef{output, 0},
+                   apex::Locality::kThreadLocal, {});
+  }
+  return dag;
+}
+
+}  // namespace
+
+Status run_native_apex(workload::QueryId query, const QueryContext& ctx) {
+  apex::Dag dag = build_dag(query, ctx);
+  // The paper's cluster: two worker nodes.
+  yarn::ResourceManager rm;
+  rm.add_node("node-0", yarn::Resource{64, 65536});
+  rm.add_node("node-1", yarn::Resource{64, 65536});
+  return apex::launch_application(rm, dag, apex::EngineConfig{}).status();
+}
+
+Result<std::string> native_apex_plan(workload::QueryId query,
+                                     const QueryContext& ctx) {
+  apex::Dag dag = build_dag(query, ctx);
+  return apex::render_physical_plan(dag);
+}
+
+}  // namespace dsps::queries

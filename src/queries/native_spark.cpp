@@ -1,0 +1,50 @@
+// Native Spark-sim implementations: direct Kafka DStream -> query
+// transformation -> Kafka output, processed in micro-batches.
+#include "queries/query_factory.hpp"
+
+#include "spark/kafka_io.hpp"
+#include "spark/streaming_context.hpp"
+
+namespace dsps::queries {
+
+namespace {
+
+spark::DStream<std::string> apply_query_transform(
+    const spark::DStream<std::string>& lines, workload::QueryId query,
+    const QueryContext& ctx) {
+  using workload::QueryId;
+  switch (query) {
+    case QueryId::kIdentity:
+      return lines;
+    case QueryId::kSample:
+      return lines.filter([seed = ctx.seed](const std::string&) {
+        return workload::sample_keep_threadlocal(seed);
+      });
+    case QueryId::kProjection:
+      return lines.map<std::string>([](const std::string& line) {
+        return workload::projection_of(line);
+      });
+    case QueryId::kGrep:
+      return lines.filter([](const std::string& line) {
+        return workload::grep_matches(line);
+      });
+  }
+  throw std::invalid_argument("unknown query");
+}
+
+}  // namespace
+
+Status run_native_spark(workload::QueryId query, const QueryContext& ctx) {
+  spark::SparkConf conf;
+  conf.app_name = workload::query_info(query).name;
+  conf.default_parallelism = ctx.parallelism;
+  spark::StreamingContext ssc(conf, /*batch_interval_ms=*/50);
+
+  auto lines = ssc.kafka_direct_stream(*ctx.broker, ctx.input_topic);
+  auto output = apply_query_transform(lines, query, ctx);
+  spark::write_to_kafka(output, *ctx.broker,
+                        spark::KafkaWriteConfig{.topic = ctx.output_topic});
+  return ssc.run_bounded();
+}
+
+}  // namespace dsps::queries

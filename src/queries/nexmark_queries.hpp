@@ -1,0 +1,53 @@
+// NEXMark-inspired Beam queries (extension; see workload/nexmark.hpp).
+// One implementation per query, runnable on every runner.
+#pragma once
+
+#include "beam/kafka_io.hpp"
+#include "beam/pipeline.hpp"
+#include "common/status.hpp"
+#include "queries/query_context.hpp"
+#include "workload/nexmark.hpp"
+
+namespace dsps::beam {
+/// Bids serialize on Apex-runner container hops like any other element.
+template <>
+struct CoderTraits<workload::Bid> {
+  static CoderPtr of();
+};
+}  // namespace dsps::beam
+
+namespace dsps::queries {
+
+enum class NexmarkQuery {
+  kQ1CurrencyConversion,
+  kQ2Selection,
+  kQWWindowedMaxBid,
+};
+
+inline const char* nexmark_query_name(NexmarkQuery query) {
+  switch (query) {
+    case NexmarkQuery::kQ1CurrencyConversion: return "Q1-currency";
+    case NexmarkQuery::kQ2Selection: return "Q2-selection";
+    case NexmarkQuery::kQWWindowedMaxBid: return "QW-windowed-max";
+  }
+  return "?";
+}
+
+struct NexmarkOptions {
+  /// Q2 keeps bids whose auction id is divisible by this.
+  std::int64_t q2_auction_modulo = 13;
+  /// QW fixed-window size in event-time microseconds.
+  std::int64_t window_us = 1'000'000;
+};
+
+/// Parses bid lines from ctx.input_topic, applies the query, and writes
+/// result lines to ctx.output_topic.
+void build_nexmark_pipeline(beam::Pipeline& pipeline, NexmarkQuery query,
+                            const QueryContext& ctx,
+                            const NexmarkOptions& options = {});
+
+/// Builds and runs on the engine's Beam runner.
+Status run_nexmark(Engine engine, NexmarkQuery query, const QueryContext& ctx,
+                   const NexmarkOptions& options = {});
+
+}  // namespace dsps::queries

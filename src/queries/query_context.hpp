@@ -1,0 +1,39 @@
+// Shared vocabulary for the 24 benchmark setups:
+// {Flink, Spark, Apex} x {native API, Beam} x {Identity, Sample,
+// Projection, Grep} x parallelism.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "kafka/broker.hpp"
+#include "workload/streambench.hpp"
+
+namespace dsps::queries {
+
+enum class Engine { kFlink, kSpark, kApex };
+enum class Sdk { kNative, kBeam };
+
+inline const char* engine_name(Engine engine) {
+  switch (engine) {
+    case Engine::kFlink: return "Flink";
+    case Engine::kSpark: return "Spark";
+    case Engine::kApex: return "Apex";
+  }
+  return "?";
+}
+
+inline const char* sdk_name(Sdk sdk) {
+  return sdk == Sdk::kNative ? "native" : "Beam";
+}
+
+struct QueryContext {
+  kafka::Broker* broker = nullptr;
+  std::string input_topic;
+  std::string output_topic;
+  int parallelism = 1;
+  /// Seed for the Sample query's randomness.
+  std::uint64_t seed = 42;
+};
+
+}  // namespace dsps::queries

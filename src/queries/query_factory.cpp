@@ -1,0 +1,48 @@
+#include "queries/query_factory.hpp"
+
+namespace dsps::queries {
+
+// Implemented in the per-engine translation units.
+Result<std::string> native_flink_plan(workload::QueryId query,
+                                      const QueryContext& ctx);
+Result<std::string> native_apex_plan(workload::QueryId query,
+                                     const QueryContext& ctx);
+Result<std::string> beam_plan(Engine engine, workload::QueryId query,
+                              const QueryContext& ctx);
+
+Status run_query(Engine engine, Sdk sdk, workload::QueryId query,
+                 const QueryContext& ctx) {
+  if (ctx.broker == nullptr) {
+    return Status::invalid_argument("QueryContext.broker is null");
+  }
+  if (!ctx.broker->topic_exists(ctx.input_topic)) {
+    return Status::not_found("input topic missing: " + ctx.input_topic);
+  }
+  if (!ctx.broker->topic_exists(ctx.output_topic)) {
+    return Status::not_found("output topic missing: " + ctx.output_topic);
+  }
+  if (sdk == Sdk::kBeam) return run_beam(engine, query, ctx);
+  switch (engine) {
+    case Engine::kFlink: return run_native_flink(query, ctx);
+    case Engine::kSpark: return run_native_spark(query, ctx);
+    case Engine::kApex: return run_native_apex(query, ctx);
+  }
+  return Status::internal("unknown engine");
+}
+
+Result<std::string> execution_plan(Engine engine, Sdk sdk,
+                                   workload::QueryId query,
+                                   const QueryContext& ctx) {
+  if (sdk == Sdk::kBeam) return beam_plan(engine, query, ctx);
+  switch (engine) {
+    case Engine::kFlink: return native_flink_plan(query, ctx);
+    case Engine::kApex: return native_apex_plan(query, ctx);
+    case Engine::kSpark:
+      return Status::unsupported(
+          "Spark-sim builds its physical plan per micro-batch; no static "
+          "plan rendering");
+  }
+  return Status::internal("unknown engine");
+}
+
+}  // namespace dsps::queries

@@ -1,0 +1,28 @@
+// Entry point for running any of the paper's query setups.
+#pragma once
+
+#include "common/status.hpp"
+#include "queries/query_context.hpp"
+
+namespace dsps::queries {
+
+/// Runs one query implementation to completion (bounded input; the result
+/// lands in ctx.output_topic). Each call builds a fresh engine instance —
+/// the paper restarts systems between runs.
+Status run_query(Engine engine, Sdk sdk, workload::QueryId query,
+                 const QueryContext& ctx);
+
+/// Renders the execution plan for a setup without running it (available
+/// for Flink-sim native/Beam and the Apex runner; reproduces Fig. 12/13).
+Result<std::string> execution_plan(Engine engine, Sdk sdk,
+                                   workload::QueryId query,
+                                   const QueryContext& ctx);
+
+// Per-engine entry points (used by tests and the plan benches).
+Status run_native_flink(workload::QueryId query, const QueryContext& ctx);
+Status run_native_spark(workload::QueryId query, const QueryContext& ctx);
+Status run_native_apex(workload::QueryId query, const QueryContext& ctx);
+Status run_beam(Engine engine, workload::QueryId query,
+                const QueryContext& ctx);
+
+}  // namespace dsps::queries

@@ -1,0 +1,192 @@
+// Discretized streams: a DStream is a sequence of RDDs, one per batch
+// interval (§II-C). Transformations build a per-batch RDD lineage; output
+// operations register actions the batch generator runs for every interval.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "spark/spark_context.hpp"
+
+namespace dsps::spark {
+
+using BatchId = std::int64_t;
+
+/// Untyped handle so StreamingContext can track inputs without T.
+class InputDStreamBase {
+ public:
+  virtual ~InputDStreamBase() = default;
+  /// True once the bounded input is fully consumed.
+  virtual bool drained() const = 0;
+  /// Records contributed to the most recent batch.
+  virtual std::size_t last_batch_records() const = 0;
+};
+
+template <typename T>
+class DStreamNode {
+ public:
+  virtual ~DStreamNode() = default;
+  /// Returns this stream's RDD for the batch (memoized per batch id, so
+  /// multiple output ops share one lineage).
+  virtual RDDPtr<T> rdd_for(BatchId batch, SparkContext& context) = 0;
+};
+
+template <typename T, typename R>
+class TransformedDStreamNode final : public DStreamNode<R> {
+ public:
+  TransformedDStreamNode(std::shared_ptr<DStreamNode<T>> parent,
+                         std::function<RDDPtr<R>(RDDPtr<T>)> transform)
+      : parent_(std::move(parent)), transform_(std::move(transform)) {}
+
+  RDDPtr<R> rdd_for(BatchId batch, SparkContext& context) override {
+    std::lock_guard lock(mutex_);
+    if (batch == cached_batch_ && cached_) return cached_;
+    cached_ = transform_(parent_->rdd_for(batch, context));
+    cached_batch_ = batch;
+    return cached_;
+  }
+
+ private:
+  std::shared_ptr<DStreamNode<T>> parent_;
+  std::function<RDDPtr<R>(RDDPtr<T>)> transform_;
+  std::mutex mutex_;
+  BatchId cached_batch_ = -1;
+  RDDPtr<R> cached_;
+};
+
+class StreamingContext;
+
+/// Typed user-facing stream handle.
+template <typename T>
+class DStream {
+ public:
+  DStream(StreamingContext* context, std::shared_ptr<DStreamNode<T>> node)
+      : context_(context), node_(std::move(node)) {}
+
+  template <typename R>
+  DStream<R> map(std::function<R(const T&)> fn) const {
+    return derive<R>([fn = std::move(fn)](RDDPtr<T> rdd) -> RDDPtr<R> {
+      return std::make_shared<MapRDD<T, R>>(std::move(rdd), fn);
+    });
+  }
+
+  DStream<T> filter(std::function<bool(const T&)> predicate) const {
+    return derive<T>(
+        [predicate = std::move(predicate)](RDDPtr<T> rdd) -> RDDPtr<T> {
+          return std::make_shared<FilterRDD<T>>(std::move(rdd), predicate);
+        });
+  }
+
+  template <typename R>
+  DStream<R> flat_map(std::function<std::vector<R>(const T&)> fn) const {
+    return derive<R>([fn = std::move(fn)](RDDPtr<T> rdd) -> RDDPtr<R> {
+      return std::make_shared<FlatMapRDD<T, R>>(std::move(rdd), fn);
+    });
+  }
+
+  /// Iterator-in / iterator-out partition transformation (lazy).
+  template <typename R>
+  DStream<R> map_partitions(
+      std::function<IterPtr<R>(IterPtr<T>)> fn) const {
+    return derive<R>([fn = std::move(fn)](RDDPtr<T> rdd) -> RDDPtr<R> {
+      return std::make_shared<MapPartitionsRDD<T, R>>(std::move(rdd), fn);
+    });
+  }
+
+  DStream<T> repartition(int partitions) const {
+    return derive<T>([partitions](RDDPtr<T> rdd) -> RDDPtr<T> {
+      return std::make_shared<RepartitionRDD<T>>(std::move(rdd), partitions);
+    });
+  }
+
+  /// Arbitrary per-batch RDD-to-RDD transformation (Spark's transform()).
+  template <typename R>
+  DStream<R> transform(std::function<RDDPtr<R>(RDDPtr<T>)> fn) const {
+    return derive<R>(std::move(fn));
+  }
+
+  /// Sliding window over batches (Spark Streaming's window()): each output
+  /// batch is the union of the last `window_batches` input batch RDDs,
+  /// advancing one batch at a time.
+  DStream<T> window(int window_batches) const;
+
+  /// Registers an output operation; defined in streaming_context.hpp.
+  void foreach_rdd(
+      std::function<void(SparkContext&, const RDDPtr<T>&)> action) const;
+
+  std::shared_ptr<DStreamNode<T>> node() const { return node_; }
+  StreamingContext* context() const noexcept { return context_; }
+
+ private:
+  template <typename R>
+  DStream<R> derive(std::function<RDDPtr<R>(RDDPtr<T>)> transform) const {
+    return DStream<R>(context_, std::make_shared<TransformedDStreamNode<T, R>>(
+                                    node_, std::move(transform)));
+  }
+
+  StreamingContext* context_;
+  std::shared_ptr<DStreamNode<T>> node_;
+};
+
+/// Windowed stream node: remembers the last `window_batches` parent RDDs
+/// and unions them per batch.
+template <typename T>
+class WindowedDStreamNode final : public DStreamNode<T> {
+ public:
+  WindowedDStreamNode(std::shared_ptr<DStreamNode<T>> parent,
+                      int window_batches)
+      : parent_(std::move(parent)), window_batches_(window_batches) {
+    require(window_batches >= 1, "window must cover at least one batch");
+  }
+
+  RDDPtr<T> rdd_for(BatchId batch, SparkContext& context) override {
+    std::lock_guard lock(mutex_);
+    if (batch == cached_batch_ && cached_) return cached_;
+    // Materialize any batches we skipped (outputs may sample batches).
+    for (BatchId b = last_seen_ + 1; b <= batch; ++b) {
+      history_.push_back(parent_->rdd_for(b, context));
+      if (static_cast<int>(history_.size()) > window_batches_) {
+        history_.erase(history_.begin());
+      }
+    }
+    last_seen_ = std::max(last_seen_, batch);
+    cached_ = std::make_shared<UnionRDD<T>>(history_);
+    cached_batch_ = batch;
+    return cached_;
+  }
+
+ private:
+  std::shared_ptr<DStreamNode<T>> parent_;
+  const int window_batches_;
+  std::mutex mutex_;
+  std::vector<RDDPtr<T>> history_;
+  BatchId last_seen_ = -1;
+  BatchId cached_batch_ = -1;
+  RDDPtr<T> cached_;
+};
+
+template <typename T>
+DStream<T> DStream<T>::window(int window_batches) const {
+  return DStream<T>(context_, std::make_shared<WindowedDStreamNode<T>>(
+                                  node_, window_batches));
+}
+
+/// Pair-stream helper: reduce_by_key over each batch.
+template <typename K, typename V>
+DStream<std::pair<K, V>> reduce_by_key(
+    const DStream<std::pair<K, V>>& stream,
+    std::function<V(const V&, const V&)> reduce, int partitions) {
+  return stream.template transform<std::pair<K, V>>(
+      [reduce = std::move(reduce),
+       partitions](RDDPtr<std::pair<K, V>> rdd) -> RDDPtr<std::pair<K, V>> {
+        return std::make_shared<ReduceByKeyRDD<K, V>>(std::move(rdd), reduce,
+                                                      partitions);
+      });
+}
+
+}  // namespace dsps::spark

@@ -1,0 +1,47 @@
+// Kafka output helper for DStreams: one producer per partition task, with
+// configurable batching (the native sink batches; the Beam runner's generic
+// writer is configured per-record by the Apex runner — see beam/runners).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "kafka/broker.hpp"
+#include "kafka/producer.hpp"
+#include "spark/streaming_context.hpp"
+
+namespace dsps::spark {
+
+struct KafkaWriteConfig {
+  std::string topic;
+  int partition = 0;
+  kafka::Acks acks = kafka::Acks::kLeader;
+  std::size_t batch_size = 500;
+};
+
+/// Registers an output op writing every batch element to Kafka.
+inline void write_to_kafka(const DStream<std::string>& stream,
+                           kafka::Broker& broker,
+                           const KafkaWriteConfig& config) {
+  stream.foreach_rdd([&broker, config](SparkContext& sc,
+                                       const RDDPtr<std::string>& rdd) {
+    sc.run_job<std::string>(
+        rdd, [&broker, config](int /*split*/, IterPtr<std::string> iter) {
+          // Pulling the iterator drives the whole pipelined stage, so
+          // records reach the broker while upstream work is happening.
+          kafka::Producer producer(
+              broker, kafka::ProducerConfig{.acks = config.acks,
+                                            .batch_size = config.batch_size});
+          while (auto value = iter->next()) {
+            producer
+                .send(config.topic, config.partition,
+                      kafka::ProducerRecord{.key = {},
+                                            .value = std::move(*value)})
+                .expect_ok();
+          }
+          producer.close().expect_ok();
+        });
+  });
+}
+
+}  // namespace dsps::spark

@@ -1,0 +1,345 @@
+// RDDs: immutable, partitioned, lazily evaluated collections with lineage.
+//
+// compute(split) returns a pull-based iterator: narrow dependencies
+// (map/filter/flatMap/mapPartitions) pipeline through the whole chain one
+// record at a time, exactly like a Spark stage. Wide dependencies
+// (repartition, partition-by, reduce_by_key) materialize a shuffle: the
+// parent side runs as its own stage and writes hash buckets the child side
+// iterates (see SparkContext::prepare_shuffles).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "spark/iterator.hpp"
+
+namespace dsps::spark {
+
+class SparkContext;
+
+/// Untyped base so the scheduler can walk lineage without knowing T.
+class BaseRDD {
+ public:
+  virtual ~BaseRDD() = default;
+  virtual int partitions() const = 0;
+
+  /// Direct lineage parents (narrow or wide).
+  virtual std::vector<std::shared_ptr<BaseRDD>> dependencies() const = 0;
+
+  /// True when this RDD reads a shuffle written by its parent.
+  virtual bool has_shuffle_dependency() const { return false; }
+
+  /// Materializes this RDD's shuffle input (wide deps only). The scheduler
+  /// calls this parent-first, once per RDD instance.
+  virtual void run_shuffle(SparkContext& /*context*/) {}
+};
+
+template <typename T>
+class RDD : public BaseRDD, public std::enable_shared_from_this<RDD<T>> {
+ public:
+  /// Computes one partition as a lazy iterator.
+  virtual IterPtr<T> compute(int split) const = 0;
+};
+
+template <typename T>
+using RDDPtr = std::shared_ptr<RDD<T>>;
+
+// ---------------------------------------------------------------------------
+
+/// Leaf RDD over in-memory data (one vector per partition).
+template <typename T>
+class ParallelCollectionRDD final : public RDD<T> {
+ public:
+  explicit ParallelCollectionRDD(std::vector<std::vector<T>> parts)
+      : parts_(std::move(parts)) {}
+
+  int partitions() const override { return static_cast<int>(parts_.size()); }
+  std::vector<std::shared_ptr<BaseRDD>> dependencies() const override {
+    return {};
+  }
+  IterPtr<T> compute(int split) const override {
+    // Copy the slice: an RDD is immutable and recomputable.
+    return iter_from_vector(parts_.at(static_cast<std::size_t>(split)));
+  }
+
+ private:
+  std::vector<std::vector<T>> parts_;
+};
+
+template <typename T, typename R>
+class MapRDD final : public RDD<R> {
+ public:
+  MapRDD(RDDPtr<T> parent, std::function<R(const T&)> fn)
+      : parent_(std::move(parent)), fn_(std::move(fn)) {}
+
+  int partitions() const override { return parent_->partitions(); }
+  std::vector<std::shared_ptr<BaseRDD>> dependencies() const override {
+    return {parent_};
+  }
+  IterPtr<R> compute(int split) const override {
+    class MapIter final : public Iterator<R> {
+     public:
+      MapIter(IterPtr<T> in, const std::function<R(const T&)>& fn)
+          : in_(std::move(in)), fn_(fn) {}
+      std::optional<R> next() override {
+        auto value = in_->next();
+        if (!value) return std::nullopt;
+        return fn_(*value);
+      }
+
+     private:
+      IterPtr<T> in_;
+      const std::function<R(const T&)>& fn_;
+    };
+    return std::make_unique<MapIter>(parent_->compute(split), fn_);
+  }
+
+ private:
+  RDDPtr<T> parent_;
+  std::function<R(const T&)> fn_;
+};
+
+template <typename T>
+class FilterRDD final : public RDD<T> {
+ public:
+  FilterRDD(RDDPtr<T> parent, std::function<bool(const T&)> predicate)
+      : parent_(std::move(parent)), predicate_(std::move(predicate)) {}
+
+  int partitions() const override { return parent_->partitions(); }
+  std::vector<std::shared_ptr<BaseRDD>> dependencies() const override {
+    return {parent_};
+  }
+  IterPtr<T> compute(int split) const override {
+    class FilterIter final : public Iterator<T> {
+     public:
+      FilterIter(IterPtr<T> in, const std::function<bool(const T&)>& pred)
+          : in_(std::move(in)), pred_(pred) {}
+      std::optional<T> next() override {
+        while (auto value = in_->next()) {
+          if (pred_(*value)) return value;
+        }
+        return std::nullopt;
+      }
+
+     private:
+      IterPtr<T> in_;
+      const std::function<bool(const T&)>& pred_;
+    };
+    return std::make_unique<FilterIter>(parent_->compute(split), predicate_);
+  }
+
+ private:
+  RDDPtr<T> parent_;
+  std::function<bool(const T&)> predicate_;
+};
+
+template <typename T, typename R>
+class FlatMapRDD final : public RDD<R> {
+ public:
+  FlatMapRDD(RDDPtr<T> parent, std::function<std::vector<R>(const T&)> fn)
+      : parent_(std::move(parent)), fn_(std::move(fn)) {}
+
+  int partitions() const override { return parent_->partitions(); }
+  std::vector<std::shared_ptr<BaseRDD>> dependencies() const override {
+    return {parent_};
+  }
+  IterPtr<R> compute(int split) const override {
+    class FlatMapIter final : public Iterator<R> {
+     public:
+      FlatMapIter(IterPtr<T> in,
+                  const std::function<std::vector<R>(const T&)>& fn)
+          : in_(std::move(in)), fn_(fn) {}
+      std::optional<R> next() override {
+        while (buffer_index_ >= buffer_.size()) {
+          auto value = in_->next();
+          if (!value) return std::nullopt;
+          buffer_ = fn_(*value);
+          buffer_index_ = 0;
+        }
+        return std::move(buffer_[buffer_index_++]);
+      }
+
+     private:
+      IterPtr<T> in_;
+      const std::function<std::vector<R>(const T&)>& fn_;
+      std::vector<R> buffer_;
+      std::size_t buffer_index_ = 0;
+    };
+    return std::make_unique<FlatMapIter>(parent_->compute(split), fn_);
+  }
+
+ private:
+  RDDPtr<T> parent_;
+  std::function<std::vector<R>(const T&)> fn_;
+};
+
+/// Iterator-to-iterator transformation of a whole partition (Spark's
+/// mapPartitions) — what the Beam Spark runner uses per translated
+/// transform. Lazy: the returned iterator pulls from the input iterator.
+template <typename T, typename R>
+class MapPartitionsRDD final : public RDD<R> {
+ public:
+  using PartitionFn = std::function<IterPtr<R>(IterPtr<T>)>;
+
+  MapPartitionsRDD(RDDPtr<T> parent, PartitionFn fn)
+      : parent_(std::move(parent)), fn_(std::move(fn)) {}
+
+  int partitions() const override { return parent_->partitions(); }
+  std::vector<std::shared_ptr<BaseRDD>> dependencies() const override {
+    return {parent_};
+  }
+  IterPtr<R> compute(int split) const override {
+    return fn_(parent_->compute(split));
+  }
+
+ private:
+  RDDPtr<T> parent_;
+  PartitionFn fn_;
+};
+
+/// Wide dependency: redistributes elements round-robin into
+/// `target_partitions` buckets via a materialized shuffle.
+template <typename T>
+class RepartitionRDD final : public RDD<T> {
+ public:
+  RepartitionRDD(RDDPtr<T> parent, int target_partitions)
+      : parent_(std::move(parent)), target_(target_partitions) {
+    require(target_partitions >= 1, "repartition target must be >= 1");
+  }
+
+  int partitions() const override { return target_; }
+  std::vector<std::shared_ptr<BaseRDD>> dependencies() const override {
+    return {parent_};
+  }
+  bool has_shuffle_dependency() const override { return true; }
+  void run_shuffle(SparkContext& context) override;
+
+  IterPtr<T> compute(int split) const override {
+    std::lock_guard lock(mutex_);
+    require(materialized_, "RepartitionRDD computed before its shuffle ran");
+    return iter_from_vector(buckets_.at(static_cast<std::size_t>(split)));
+  }
+
+ private:
+  RDDPtr<T> parent_;
+  int target_;
+  mutable std::mutex mutex_;
+  bool materialized_ = false;
+  std::vector<std::vector<T>> buckets_;
+};
+
+/// Wide dependency: redistributes elements into `target_partitions` buckets
+/// chosen by a caller-supplied hash (keyed routing for grouping operators).
+template <typename T>
+class KeyPartitionRDD final : public RDD<T> {
+ public:
+  KeyPartitionRDD(RDDPtr<T> parent,
+                  std::function<std::uint64_t(const T&)> hash_of,
+                  int target_partitions)
+      : parent_(std::move(parent)),
+        hash_of_(std::move(hash_of)),
+        target_(target_partitions) {
+    require(target_partitions >= 1, "partition_by target must be >= 1");
+  }
+
+  int partitions() const override { return target_; }
+  std::vector<std::shared_ptr<BaseRDD>> dependencies() const override {
+    return {parent_};
+  }
+  bool has_shuffle_dependency() const override { return true; }
+  void run_shuffle(SparkContext& context) override;
+
+  IterPtr<T> compute(int split) const override {
+    std::lock_guard lock(mutex_);
+    require(materialized_, "KeyPartitionRDD computed before its shuffle ran");
+    return iter_from_vector(buckets_.at(static_cast<std::size_t>(split)));
+  }
+
+ private:
+  RDDPtr<T> parent_;
+  std::function<std::uint64_t(const T&)> hash_of_;
+  int target_;
+  mutable std::mutex mutex_;
+  bool materialized_ = false;
+  std::vector<std::vector<T>> buckets_;
+};
+
+/// Wide dependency: groups (key, value) pairs by key hash and reduces the
+/// values per key.
+template <typename K, typename V>
+class ReduceByKeyRDD final : public RDD<std::pair<K, V>> {
+ public:
+  ReduceByKeyRDD(RDDPtr<std::pair<K, V>> parent,
+                 std::function<V(const V&, const V&)> reduce,
+                 int target_partitions)
+      : parent_(std::move(parent)),
+        reduce_(std::move(reduce)),
+        target_(target_partitions) {
+    require(target_partitions >= 1, "reduce_by_key target must be >= 1");
+  }
+
+  int partitions() const override { return target_; }
+  std::vector<std::shared_ptr<BaseRDD>> dependencies() const override {
+    return {parent_};
+  }
+  bool has_shuffle_dependency() const override { return true; }
+  void run_shuffle(SparkContext& context) override;
+
+  IterPtr<std::pair<K, V>> compute(int split) const override {
+    std::lock_guard lock(mutex_);
+    require(materialized_, "ReduceByKeyRDD computed before its shuffle ran");
+    return iter_from_vector(buckets_.at(static_cast<std::size_t>(split)));
+  }
+
+ private:
+  static std::uint64_t hash_of(const K& key) {
+    if constexpr (std::is_integral_v<K>) {
+      return static_cast<std::uint64_t>(key) * 0x9E3779B97F4A7C15ULL;
+    } else {
+      return fnv1a(std::string_view{key});
+    }
+  }
+
+  RDDPtr<std::pair<K, V>> parent_;
+  std::function<V(const V&, const V&)> reduce_;
+  int target_;
+  mutable std::mutex mutex_;
+  bool materialized_ = false;
+  std::vector<std::vector<std::pair<K, V>>> buckets_;
+};
+
+template <typename T>
+class UnionRDD final : public RDD<T> {
+ public:
+  explicit UnionRDD(std::vector<RDDPtr<T>> parents)
+      : parents_(std::move(parents)) {}
+
+  int partitions() const override {
+    int total = 0;
+    for (const auto& parent : parents_) total += parent->partitions();
+    return total;
+  }
+  std::vector<std::shared_ptr<BaseRDD>> dependencies() const override {
+    return {parents_.begin(), parents_.end()};
+  }
+  IterPtr<T> compute(int split) const override {
+    for (const auto& parent : parents_) {
+      if (split < parent->partitions()) return parent->compute(split);
+      split -= parent->partitions();
+    }
+    require(false, "UnionRDD split out of range");
+    return nullptr;
+  }
+
+ private:
+  std::vector<RDDPtr<T>> parents_;
+};
+
+}  // namespace dsps::spark

@@ -1,0 +1,183 @@
+#include "spark/streaming_context.hpp"
+
+#include <chrono>
+
+#include "common/clock.hpp"
+
+namespace dsps::spark {
+
+namespace {
+
+/// Receiver-less Kafka input: per batch, claims [position, end) of every
+/// partition of the topic and slices the claimed records into
+/// `parallelism` RDD partitions.
+class KafkaDirectInputDStream final : public DStreamNode<std::string>,
+                                      public InputDStreamBase {
+ public:
+  KafkaDirectInputDStream(kafka::Broker& broker, std::string topic,
+                          int parallelism)
+      : broker_(broker), topic_(std::move(topic)), parallelism_(parallelism) {}
+
+  RDDPtr<std::string> rdd_for(BatchId batch, SparkContext& sc) override {
+    std::lock_guard lock(mutex_);
+    if (batch == cached_batch_ && cached_) return cached_;
+
+    std::vector<std::string> claimed;
+    const auto partitions = broker_.partition_count(topic_);
+    if (partitions.is_ok()) {
+      positions_.resize(static_cast<std::size_t>(partitions.value()), 0);
+      for (int p = 0; p < partitions.value(); ++p) {
+        const kafka::TopicPartition tp{topic_, p};
+        const auto end = broker_.end_offset(tp);
+        if (!end.is_ok()) continue;
+        auto& position = positions_[static_cast<std::size_t>(p)];
+        while (position < end.value()) {
+          std::vector<kafka::StoredRecord> fetched;
+          const auto n = broker_.fetch(
+              tp, position,
+              static_cast<std::size_t>(end.value() - position), fetched);
+          if (!n.is_ok() || n.value() == 0) break;
+          for (auto& record : fetched) {
+            claimed.push_back(std::move(record.value));
+          }
+          position += static_cast<std::int64_t>(n.value());
+        }
+      }
+    }
+    last_batch_records_ = claimed.size();
+    cached_ = sc.parallelize(std::move(claimed), parallelism_);
+    cached_batch_ = batch;
+    return cached_;
+  }
+
+  bool drained() const override {
+    std::lock_guard lock(mutex_);
+    const auto partitions = broker_.partition_count(topic_);
+    if (!partitions.is_ok()) return true;
+    for (int p = 0; p < partitions.value(); ++p) {
+      const auto end = broker_.end_offset({topic_, p});
+      if (!end.is_ok()) continue;
+      const std::int64_t position =
+          static_cast<std::size_t>(p) < positions_.size()
+              ? positions_[static_cast<std::size_t>(p)]
+              : 0;
+      if (position < end.value()) return false;
+    }
+    return true;
+  }
+
+  std::size_t last_batch_records() const override {
+    std::lock_guard lock(mutex_);
+    return last_batch_records_;
+  }
+
+ private:
+  kafka::Broker& broker_;
+  const std::string topic_;
+  const int parallelism_;
+  mutable std::mutex mutex_;
+  std::vector<std::int64_t> positions_;
+  std::size_t last_batch_records_ = 0;
+  BatchId cached_batch_ = -1;
+  RDDPtr<std::string> cached_;
+};
+
+}  // namespace
+
+StreamingContext::StreamingContext(SparkConf conf,
+                                   std::int64_t batch_interval_ms)
+    : conf_(conf), sc_(conf), batch_interval_ms_(batch_interval_ms) {
+  require(batch_interval_ms >= 1, "batch interval must be >= 1 ms");
+}
+
+StreamingContext::~StreamingContext() { stop(); }
+
+DStream<std::string> StreamingContext::kafka_direct_stream(
+    kafka::Broker& broker, const std::string& topic) {
+  auto node = std::make_shared<KafkaDirectInputDStream>(
+      broker, topic, conf_.default_parallelism);
+  register_input(node);
+  return DStream<std::string>(this, node);
+}
+
+void StreamingContext::register_output(
+    std::function<void(BatchId, SparkContext&)> op) {
+  require(!started_, "cannot add outputs after start()");
+  outputs_.push_back(std::move(op));
+}
+
+void StreamingContext::register_input(
+    std::shared_ptr<InputDStreamBase> input) {
+  require(!started_, "cannot add inputs after start()");
+  inputs_.push_back(std::move(input));
+}
+
+void StreamingContext::run_one_batch() {
+  const BatchId batch = next_batch_++;
+  Stopwatch watch;
+  std::size_t input_records = 0;
+  for (const auto& output : outputs_) output(batch, sc_);
+  for (const auto& input : inputs_) input_records += input->last_batch_records();
+  history_.push_back(BatchStats{.id = batch,
+                                .input_records = input_records,
+                                .processing_ms = watch.elapsed_ms()});
+}
+
+bool StreamingContext::all_inputs_drained() const {
+  for (const auto& input : inputs_) {
+    if (!input->drained()) return false;
+  }
+  return true;
+}
+
+Status StreamingContext::start() {
+  if (started_) return Status::failed_precondition("already started");
+  if (outputs_.empty()) {
+    return Status::failed_precondition("no output operations registered");
+  }
+  started_ = true;
+  running_.store(true);
+  generator_ = std::thread([this] {
+    while (!stop_requested_.load()) {
+      const Stopwatch watch;
+      run_one_batch();
+      const auto spent_ms = static_cast<std::int64_t>(watch.elapsed_ms());
+      const std::int64_t wait_ms = batch_interval_ms_ - spent_ms;
+      if (wait_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+      }
+    }
+    running_.store(false);
+  });
+  return Status::ok();
+}
+
+void StreamingContext::stop() {
+  stop_requested_.store(true);
+  if (generator_.joinable()) generator_.join();
+}
+
+Status StreamingContext::run_bounded() {
+  if (started_) {
+    return Status::failed_precondition("run_bounded after start()");
+  }
+  if (outputs_.empty()) {
+    return Status::failed_precondition("no output operations registered");
+  }
+  started_ = true;
+  while (true) {
+    const Stopwatch watch;
+    run_one_batch();
+    const bool empty_batch = history_.back().input_records == 0;
+    if (empty_batch && all_inputs_drained()) break;
+    const auto spent_ms = static_cast<std::int64_t>(watch.elapsed_ms());
+    const std::int64_t wait_ms = batch_interval_ms_ - spent_ms;
+    if (wait_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+    }
+  }
+  started_ = false;
+  return Status::ok();
+}
+
+}  // namespace dsps::spark

@@ -1,0 +1,96 @@
+// StreamingContext: owns the batch generator that turns time into batches.
+//
+// Micro-batch execution (§II-C): every `batch_interval_ms` the generator
+// assembles one RDD per input from newly arrived data and runs every
+// registered output operation on it, one batch at a time. The benchmark
+// runs bounded: run_bounded() keeps generating batches until every input is
+// drained and the final batch carried no records.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "kafka/broker.hpp"
+#include "kafka/consumer.hpp"
+#include "spark/dstream.hpp"
+
+namespace dsps::spark {
+
+struct BatchStats {
+  BatchId id = 0;
+  std::size_t input_records = 0;
+  double processing_ms = 0.0;
+};
+
+class StreamingContext {
+ public:
+  StreamingContext(SparkConf conf, std::int64_t batch_interval_ms);
+  ~StreamingContext();
+
+  StreamingContext(const StreamingContext&) = delete;
+  StreamingContext& operator=(const StreamingContext&) = delete;
+
+  SparkContext& spark_context() noexcept { return sc_; }
+  std::int64_t batch_interval_ms() const noexcept {
+    return batch_interval_ms_;
+  }
+
+  /// Direct Kafka stream (the receiver-less kafka010 style): each batch
+  /// reads the offset range that arrived since the previous batch and slices
+  /// it into `spark.default.parallelism` partitions.
+  DStream<std::string> kafka_direct_stream(kafka::Broker& broker,
+                                           const std::string& topic);
+
+  /// Registers an output operation (used by DStream::foreach_rdd).
+  void register_output(std::function<void(BatchId, SparkContext&)> op);
+  void register_input(std::shared_ptr<InputDStreamBase> input);
+
+  /// Starts the timer-driven batch generator.
+  Status start();
+
+  /// Stops the generator after the in-flight batch.
+  void stop();
+
+  /// Bounded run: generates batches on the interval until all inputs are
+  /// drained and the last batch was empty; then returns. Must not be mixed
+  /// with start().
+  Status run_bounded();
+
+  const std::vector<BatchStats>& batch_history() const noexcept {
+    return history_;
+  }
+
+ private:
+  void run_one_batch();
+  bool all_inputs_drained() const;
+
+  SparkConf conf_;
+  SparkContext sc_;
+  const std::int64_t batch_interval_ms_;
+  std::vector<std::function<void(BatchId, SparkContext&)>> outputs_;
+  std::vector<std::shared_ptr<InputDStreamBase>> inputs_;
+  std::vector<BatchStats> history_;
+  BatchId next_batch_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread generator_;
+  bool started_ = false;
+};
+
+template <typename T>
+void DStream<T>::foreach_rdd(
+    std::function<void(SparkContext&, const RDDPtr<T>&)> action) const {
+  context_->register_output(
+      [node = node_, action = std::move(action)](BatchId batch,
+                                                 SparkContext& sc) {
+        action(sc, node->rdd_for(batch, sc));
+      });
+}
+
+}  // namespace dsps::spark

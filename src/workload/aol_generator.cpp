@@ -1,0 +1,133 @@
+#include "workload/aol_generator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/strings.hpp"
+
+namespace dsps::workload {
+
+namespace {
+
+constexpr std::uint64_t kNeedleResidue = 7;
+
+// Vocabulary for query synthesis. None of these contain "test" as a
+// substring ("contest", "protest", "latest" are deliberately absent), so
+// needle occurrence is fully controlled by the generator.
+constexpr std::array kWords = {
+    "weather",  "lyrics",  "recipe",   "movie",   "hotel",   "flight",
+    "games",    "news",    "pictures", "school",  "music",   "phone",
+    "house",    "jobs",    "car",      "credit",  "dollar",  "health",
+    "store",    "beach",   "county",   "city",    "map",     "code",
+    "florida",  "texas",   "free",     "online",  "cheap",   "best",
+    "york",     "sale",    "book",     "radio",   "tickets", "college",
+};
+
+constexpr std::array kDomains = {
+    "example.com",   "search.net",   "shopping.org", "travelsite.com",
+    "localnews.com", "bigstore.com", "questions.net", "photos.org",
+};
+
+}  // namespace
+
+std::string AolRecord::to_line() const {
+  std::string line;
+  line.reserve(user_id.size() + query.size() + query_time.size() +
+               item_rank.size() + click_url.size() + 4);
+  line += user_id;
+  line += '\t';
+  line += query;
+  line += '\t';
+  line += query_time;
+  line += '\t';
+  line += item_rank;
+  line += '\t';
+  line += click_url;
+  return line;
+}
+
+AolRecord AolRecord::from_line(const std::string& line) {
+  const auto fields = split(line, '\t');
+  AolRecord record;
+  if (fields.size() > 0) record.user_id = fields[0];
+  if (fields.size() > 1) record.query = fields[1];
+  if (fields.size() > 2) record.query_time = fields[2];
+  if (fields.size() > 3) record.item_rank = fields[3];
+  if (fields.size() > 4) record.click_url = fields[4];
+  return record;
+}
+
+AolGenerator::AolGenerator(AolGeneratorConfig config)
+    : config_(std::move(config)) {
+  require(config_.record_count > 0, "record_count must be positive");
+  require(config_.grep_needle_fraction > 0.0 &&
+              config_.grep_needle_fraction < 1.0,
+          "grep_needle_fraction must be in (0, 1)");
+  needle_modulus_ = std::max<std::uint64_t>(
+      2, static_cast<std::uint64_t>(1.0 / config_.grep_needle_fraction));
+}
+
+bool AolGenerator::is_grep_match(std::uint64_t index) const {
+  return index % needle_modulus_ == kNeedleResidue % needle_modulus_;
+}
+
+std::uint64_t AolGenerator::grep_match_count() const {
+  const std::uint64_t full_cycles = config_.record_count / needle_modulus_;
+  const std::uint64_t remainder = config_.record_count % needle_modulus_;
+  return full_cycles +
+         ((kNeedleResidue % needle_modulus_) < remainder ? 1 : 0);
+}
+
+AolRecord AolGenerator::record_at(std::uint64_t index) const {
+  // A per-record generator keyed on (seed, index) makes records independent
+  // of generation order.
+  Xoshiro256 rng(config_.seed ^ (index * 0x9E3779B97F4A7C15ULL + 1));
+
+  AolRecord record;
+  record.user_id = std::to_string(100000 + rng.next_below(900000));
+
+  // 1-4 vocabulary words; the needle is injected deterministically.
+  const std::uint64_t word_count = 1 + rng.next_below(4);
+  std::string query;
+  for (std::uint64_t w = 0; w < word_count; ++w) {
+    if (w > 0) query += ' ';
+    query += kWords[rng.next_below(kWords.size())];
+  }
+  if (is_grep_match(index)) {
+    query += ' ';
+    query += config_.grep_needle;
+  }
+  record.query = std::move(query);
+
+  // AOL log timeframe: March–May 2006.
+  char time_buffer[32];
+  std::snprintf(time_buffer, sizeof time_buffer,
+                "2006-%02" PRIu64 "-%02" PRIu64 " %02" PRIu64 ":%02" PRIu64
+                ":%02" PRIu64,
+                3 + rng.next_below(3), 1 + rng.next_below(28),
+                rng.next_below(24), rng.next_below(60), rng.next_below(60));
+  record.query_time = time_buffer;
+
+  // Roughly half the records carry a clicked result.
+  if (rng.next_below(2) == 0) {
+    record.item_rank = std::to_string(1 + rng.next_below(10));
+    record.click_url = std::string("http://www.") +
+                       kDomains[rng.next_below(kDomains.size())];
+  }
+  return record;
+}
+
+std::vector<std::string> AolGenerator::all_lines() const {
+  std::vector<std::string> lines;
+  lines.reserve(config_.record_count);
+  for (std::uint64_t i = 0; i < config_.record_count; ++i) {
+    lines.push_back(record_at(i).to_line());
+  }
+  return lines;
+}
+
+}  // namespace dsps::workload

@@ -1,0 +1,67 @@
+#include "workload/data_sender.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/clock.hpp"
+
+namespace dsps::workload {
+
+DataSender::DataSender(kafka::Broker& broker, DataSenderConfig config)
+    : broker_(broker), config_(std::move(config)) {}
+
+Result<IngestReport> DataSender::send_lines(
+    const std::vector<std::string>& lines) {
+  return send_impl(lines.size(),
+                   [&lines](std::uint64_t i) { return lines[i]; });
+}
+
+Result<IngestReport> DataSender::send_generated(
+    const AolGenerator& generator) {
+  return send_impl(generator.config().record_count,
+                   [&generator](std::uint64_t i) {
+                     return generator.record_at(i).to_line();
+                   });
+}
+
+Result<IngestReport> DataSender::send_impl(
+    std::uint64_t count,
+    const std::function<std::string(std::uint64_t)>& line_at) {
+  kafka::Producer producer(
+      broker_, kafka::ProducerConfig{.acks = config_.acks,
+                                     .batch_size =
+                                         config_.producer_batch_size});
+  Stopwatch watch;
+  const double per_record_us =
+      config_.ingestion_rate == 0
+          ? 0.0
+          : 1e6 / static_cast<double>(config_.ingestion_rate);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Status sent = producer.send(
+        config_.topic, /*partition=*/0,
+        kafka::ProducerRecord{.key = {}, .value = line_at(i)});
+    if (!sent.is_ok()) return sent;
+    if (per_record_us > 0.0) {
+      const auto target_us =
+          static_cast<std::int64_t>(per_record_us * static_cast<double>(i + 1));
+      const std::int64_t ahead_us = target_us - watch.elapsed_us();
+      if (ahead_us > 1000) {
+        std::this_thread::sleep_for(std::chrono::microseconds(ahead_us));
+      }
+    }
+  }
+  if (Status closed = producer.close(); !closed.is_ok()) return closed;
+  return IngestReport{.records_sent = count,
+                      .duration_ms = watch.elapsed_ms()};
+}
+
+Status create_benchmark_topic(kafka::Broker& broker,
+                              const std::string& name) {
+  return broker.create_topic(
+      name, kafka::TopicConfig{
+                .partitions = 1,
+                .replication_factor = 1,
+                .timestamp_type = kafka::TimestampType::kLogAppendTime});
+}
+
+}  // namespace dsps::workload

@@ -1,0 +1,58 @@
+// Data sender: benchmark phase 1 (§III-A2, step "Data Ingestion").
+//
+// Mirrors the paper's Scala data sender: reads the input data and forwards
+// it to the message broker, with configurable ingestion rate and producer
+// acknowledgement level. The benchmark input topic is created with one
+// partition and replication factor one so record order is guaranteed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "kafka/broker.hpp"
+#include "kafka/producer.hpp"
+#include "workload/aol_generator.hpp"
+
+namespace dsps::workload {
+
+struct DataSenderConfig {
+  std::string topic;
+  /// Records per second; 0 = as fast as possible (the paper pre-loads).
+  std::uint64_t ingestion_rate = 0;
+  kafka::Acks acks = kafka::Acks::kLeader;
+  std::size_t producer_batch_size = 1000;
+};
+
+struct IngestReport {
+  std::uint64_t records_sent = 0;
+  double duration_ms = 0.0;
+};
+
+class DataSender {
+ public:
+  DataSender(kafka::Broker& broker, DataSenderConfig config);
+
+  /// Sends pre-built lines.
+  Result<IngestReport> send_lines(const std::vector<std::string>& lines);
+
+  /// Streams records straight from the generator (no materialized vector —
+  /// supports the full 1,000,001-record paper scale without holding it).
+  Result<IngestReport> send_generated(const AolGenerator& generator);
+
+ private:
+  Result<IngestReport> send_impl(
+      std::uint64_t count,
+      const std::function<std::string(std::uint64_t)>& line_at);
+
+  kafka::Broker& broker_;
+  DataSenderConfig config_;
+};
+
+/// Creates the benchmark topic exactly as the paper does: one partition,
+/// replication factor one, LogAppendTime stamping.
+Status create_benchmark_topic(kafka::Broker& broker, const std::string& name);
+
+}  // namespace dsps::workload

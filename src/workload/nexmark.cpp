@@ -1,0 +1,71 @@
+#include "workload/nexmark.hpp"
+
+#include "common/status.hpp"
+#include "common/strings.hpp"
+
+namespace dsps::workload {
+
+std::string Bid::to_line() const {
+  std::string line;
+  line.reserve(48);
+  line += std::to_string(auction);
+  line += ',';
+  line += std::to_string(bidder);
+  line += ',';
+  line += std::to_string(price);
+  line += ',';
+  line += std::to_string(date_time);
+  return line;
+}
+
+Bid Bid::from_line(const std::string& line) {
+  const auto fields = split(line, ',');
+  require(fields.size() == 4, "malformed bid line");
+  return Bid{.auction = std::stoll(fields[0]),
+             .bidder = std::stoll(fields[1]),
+             .price = std::stoll(fields[2]),
+             .date_time = std::stoll(fields[3])};
+}
+
+NexmarkGenerator::NexmarkGenerator(NexmarkConfig config)
+    : config_(std::move(config)) {
+  require(config_.bid_count > 0, "bid_count must be positive");
+  require(config_.auctions > 0 && config_.bidders > 0,
+          "auctions and bidders must be positive");
+}
+
+Bid NexmarkGenerator::bid_at(std::uint64_t index) const {
+  Xoshiro256 rng(config_.seed ^ (index * 0x2545F4914F6CDD1DULL + 11));
+  return Bid{
+      .auction = static_cast<std::int64_t>(
+          rng.next_below(static_cast<std::uint64_t>(config_.auctions))),
+      .bidder = static_cast<std::int64_t>(
+          rng.next_below(static_cast<std::uint64_t>(config_.bidders))),
+      // Hot-item skew: a quadratic ramp makes some prices much larger.
+      .price = 100 + static_cast<std::int64_t>(rng.next_below(10'000)) +
+               static_cast<std::int64_t>(rng.next_below(100)) *
+                   static_cast<std::int64_t>(rng.next_below(100)),
+      .date_time =
+          static_cast<std::int64_t>(index) * config_.inter_event_us,
+  };
+}
+
+std::vector<Bid> NexmarkGenerator::all_bids() const {
+  std::vector<Bid> bids;
+  bids.reserve(config_.bid_count);
+  for (std::uint64_t i = 0; i < config_.bid_count; ++i) {
+    bids.push_back(bid_at(i));
+  }
+  return bids;
+}
+
+std::vector<std::string> NexmarkGenerator::all_lines() const {
+  std::vector<std::string> lines;
+  lines.reserve(config_.bid_count);
+  for (std::uint64_t i = 0; i < config_.bid_count; ++i) {
+    lines.push_back(bid_at(i).to_line());
+  }
+  return lines;
+}
+
+}  // namespace dsps::workload

@@ -1,0 +1,71 @@
+// NEXMark-inspired auction workload (extension).
+//
+// The paper's related work (§IV) discusses NEXMark and the Beam NEXMark
+// suite as the other established Beam benchmark. As an extension beyond
+// the StreamBench reproduction we provide a miniature NEXMark: a seeded
+// bid-event generator and three queries implemented on the Beam-sim API —
+// runnable on every runner (bench/ext_nexmark).
+//
+//   Q1 (currency conversion): map bid prices from USD to EUR.
+//   Q2 (selection):           bids on a set of auction ids.
+//   QW (windowed max):        highest bid per auction per fixed window.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dsps::workload {
+
+struct Bid {
+  std::int64_t auction = 0;
+  std::int64_t bidder = 0;
+  /// Price in hundredths of a currency unit.
+  std::int64_t price = 0;
+  /// Event time in microseconds since the stream epoch.
+  std::int64_t date_time = 0;
+
+  friend bool operator==(const Bid&, const Bid&) = default;
+
+  /// Serializes as "auction,bidder,price,date_time" (the broker carries
+  /// strings, like the Kafka-based NEXMark setups).
+  std::string to_line() const;
+  static Bid from_line(const std::string& line);
+};
+
+struct NexmarkConfig {
+  std::uint64_t bid_count = 10'000;
+  std::uint64_t seed = 42;
+  std::int64_t auctions = 100;
+  std::int64_t bidders = 500;
+  /// Event-time distance between consecutive bids (microseconds).
+  std::int64_t inter_event_us = 1'000;
+};
+
+class NexmarkGenerator {
+ public:
+  explicit NexmarkGenerator(NexmarkConfig config);
+
+  /// Deterministic, order-independent access to bid `index`.
+  Bid bid_at(std::uint64_t index) const;
+
+  std::vector<Bid> all_bids() const;
+  std::vector<std::string> all_lines() const;
+
+  const NexmarkConfig& config() const noexcept { return config_; }
+
+ private:
+  NexmarkConfig config_;
+};
+
+/// NEXMark Q1's fixed conversion rate (USD -> EUR).
+inline constexpr double kUsdToEur = 0.908;
+
+inline std::int64_t convert_usd_to_eur(std::int64_t price_usd) {
+  return static_cast<std::int64_t>(static_cast<double>(price_usd) *
+                                   kUsdToEur);
+}
+
+}  // namespace dsps::workload

@@ -1,0 +1,71 @@
+#include "workload/streambench.hpp"
+
+#include <thread>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/strings.hpp"
+
+namespace dsps::workload {
+
+const std::vector<QueryInfo>& all_queries() {
+  static const std::vector<QueryInfo> queries = {
+      {QueryId::kIdentity, "Identity",
+       "Read input and output it without any transformation (computational "
+       "baseline).",
+       1.0},
+      {QueryId::kSample, "Sample",
+       "Output a randomly chosen ~40% subset of the input.", kSampleFraction},
+      {QueryId::kProjection, "Projection",
+       "Output only the first column of each input record.", 1.0},
+      {QueryId::kGrep, "Grep",
+       "Output only records containing the string \"test\" (~0.3% of "
+       "input).",
+       3003.0 / 1'000'001.0},
+  };
+  return queries;
+}
+
+const QueryInfo& query_info(QueryId id) {
+  for (const auto& info : all_queries()) {
+    if (info.id == id) return info;
+  }
+  throw std::invalid_argument("unknown query id");
+}
+
+std::string identity_of(const std::string& line) { return line; }
+
+std::string projection_of(const std::string& line) {
+  const std::size_t tab = line.find('\t');
+  return tab == std::string::npos ? line : line.substr(0, tab);
+}
+
+bool grep_matches(const std::string& line) {
+  return contains(line, kGrepNeedle);
+}
+
+struct SampleDecider::Impl {
+  explicit Impl(std::uint64_t seed) : rng(seed) {}
+  Xoshiro256 rng;
+};
+
+SampleDecider::SampleDecider(std::uint64_t seed)
+    : impl_(std::make_shared<Impl>(seed)) {}
+
+bool SampleDecider::keep() {
+  return impl_->rng.next_double() < kSampleFraction;
+}
+
+bool sample_keep_threadlocal(std::uint64_t seed) {
+  thread_local std::uint64_t current_seed = 0;
+  thread_local std::unique_ptr<Xoshiro256> rng;
+  if (!rng || current_seed != seed) {
+    const auto thread_hash =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    rng = std::make_unique<Xoshiro256>(seed ^ thread_hash);
+    current_seed = seed;
+  }
+  return rng->next_double() < kSampleFraction;
+}
+
+}  // namespace dsps::workload

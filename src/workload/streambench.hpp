@@ -1,0 +1,62 @@
+// The four stateless StreamBench queries the paper benchmarks (Table II),
+// plus the shared query logic every implementation (native or Beam) reuses
+// so that all 24 setups compute identical results.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dsps::workload {
+
+enum class QueryId { kIdentity, kSample, kProjection, kGrep };
+
+struct QueryInfo {
+  QueryId id;
+  std::string name;
+  std::string description;
+  /// Expected output/input ratio (1.0, ~0.4, 1.0, ~0.003).
+  double expected_selectivity;
+};
+
+const std::vector<QueryInfo>& all_queries();
+const QueryInfo& query_info(QueryId id);
+
+/// The Sample query keeps ~40% of records (Table II).
+inline constexpr double kSampleFraction = 0.4;
+
+/// The Grep query's needle (Table II: search string "test").
+inline constexpr const char* kGrepNeedle = "test";
+
+// --- shared per-record logic -------------------------------------------------
+
+/// Identity: the record itself.
+std::string identity_of(const std::string& line);
+
+/// Projection: the first tab-separated column (§III-B: "the values of the
+/// first column are chosen").
+std::string projection_of(const std::string& line);
+
+/// Grep: does the record contain the needle?
+bool grep_matches(const std::string& line);
+
+/// Sample: a stateful 40% coin-flipper. Each call site owns one instance
+/// (not shared across threads).
+class SampleDecider {
+ public:
+  explicit SampleDecider(std::uint64_t seed);
+  bool keep();
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Thread-safe convenience: a fresh deterministic decider per thread.
+/// Parallel runs remain statistically correct (~40% kept) even though the
+/// exact kept-set depends on thread scheduling.
+bool sample_keep_threadlocal(std::uint64_t seed);
+
+}  // namespace dsps::workload

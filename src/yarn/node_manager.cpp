@@ -1,0 +1,122 @@
+#include "yarn/node_manager.hpp"
+
+#include <utility>
+
+#include "common/clock.hpp"
+
+namespace dsps::yarn {
+
+NodeManager::NodeManager(NodeId id, Resource capacity)
+    : id_(std::move(id)), capacity_(capacity) {
+  beat();
+}
+
+NodeManager::~NodeManager() { await_all(); }
+
+Resource NodeManager::used() const {
+  std::lock_guard lock(mutex_);
+  return used_;
+}
+
+Resource NodeManager::available() const {
+  std::lock_guard lock(mutex_);
+  return capacity_ - used_;
+}
+
+Status NodeManager::reserve(const Container& container) {
+  std::lock_guard lock(mutex_);
+  if (failed_.load()) {
+    return Status::failed_precondition("node " + id_ + " has failed");
+  }
+  if (!fits(container.resource, capacity_ - used_)) {
+    return Status::resource_exhausted("node " + id_ +
+                                      " cannot fit container");
+  }
+  used_ = used_ + container.resource;
+  Slot slot;
+  slot.container = container;
+  slots_.emplace(container.id, std::move(slot));
+  return Status::ok();
+}
+
+void NodeManager::release(ContainerId id) {
+  std::lock_guard lock(mutex_);
+  const auto it = slots_.find(id);
+  if (it == slots_.end()) return;
+  if (it->second.state == ContainerState::kAllocated ||
+      it->second.state == ContainerState::kRunning) {
+    used_ = used_ - it->second.container.resource;
+    it->second.state = ContainerState::kCompleted;
+  }
+}
+
+Status NodeManager::launch(ContainerId id, std::function<void()> work) {
+  std::lock_guard lock(mutex_);
+  const auto it = slots_.find(id);
+  if (it == slots_.end()) {
+    return Status::not_found("container not reserved on node " + id_);
+  }
+  if (it->second.state != ContainerState::kAllocated) {
+    return Status::failed_precondition("container already launched");
+  }
+  it->second.state = ContainerState::kRunning;
+  it->second.worker = std::thread([this, id, work = std::move(work)] {
+    work();
+    std::lock_guard inner(mutex_);
+    const auto slot = slots_.find(id);
+    if (slot != slots_.end() &&
+        slot->second.state == ContainerState::kRunning) {
+      slot->second.state = ContainerState::kCompleted;
+      used_ = used_ - slot->second.container.resource;
+    }
+  });
+  return Status::ok();
+}
+
+void NodeManager::await(ContainerId id) {
+  std::thread worker;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = slots_.find(id);
+    if (it == slots_.end() || !it->second.worker.joinable()) return;
+    worker = std::move(it->second.worker);
+  }
+  worker.join();
+}
+
+void NodeManager::await_all() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(mutex_);
+    for (auto& [id, slot] : slots_) {
+      if (slot.worker.joinable()) workers.push_back(std::move(slot.worker));
+    }
+  }
+  for (auto& worker : workers) worker.join();
+}
+
+ContainerState NodeManager::state(ContainerId id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = slots_.find(id);
+  if (it == slots_.end()) return ContainerState::kFailed;
+  return it->second.state;
+}
+
+void NodeManager::beat() noexcept { last_heartbeat_ms_.store(wall_clock_now()); }
+
+void NodeManager::fail_node() {
+  std::lock_guard lock(mutex_);
+  failed_.store(true);
+  for (auto& [id, slot] : slots_) {
+    if (slot.state == ContainerState::kRunning ||
+        slot.state == ContainerState::kAllocated) {
+      slot.state = ContainerState::kFailed;
+      // The worker thread keeps running (we cannot safely kill a thread);
+      // tests use cooperative work functions that observe failed().
+      if (slot.worker.joinable()) slot.worker.detach();
+    }
+  }
+  used_ = Resource{0, 0};
+}
+
+}  // namespace dsps::yarn

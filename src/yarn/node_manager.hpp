@@ -1,0 +1,77 @@
+// NodeManager: per-node daemon that launches container work in threads and
+// heartbeats its liveness and resource usage to the ResourceManager.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "yarn/types.hpp"
+
+namespace dsps::yarn {
+
+class ResourceManager;
+
+class NodeManager {
+ public:
+  NodeManager(NodeId id, Resource capacity);
+  ~NodeManager();
+
+  NodeManager(const NodeManager&) = delete;
+  NodeManager& operator=(const NodeManager&) = delete;
+
+  const NodeId& id() const noexcept { return id_; }
+  Resource capacity() const noexcept { return capacity_; }
+  Resource used() const;
+  Resource available() const;
+
+  /// Reserves resources for a container. Fails when it does not fit.
+  Status reserve(const Container& container);
+
+  /// Releases a container's resources (after completion/failure).
+  void release(ContainerId id);
+
+  /// Runs `work` on a dedicated thread for the given (reserved) container.
+  Status launch(ContainerId id, std::function<void()> work);
+
+  /// Blocks until the container's work function returns.
+  void await(ContainerId id);
+
+  /// Blocks until every launched container finished.
+  void await_all();
+
+  ContainerState state(ContainerId id) const;
+
+  /// Heartbeat bookkeeping, driven by the ResourceManager's monitor.
+  std::int64_t last_heartbeat_ms() const noexcept {
+    return last_heartbeat_ms_.load();
+  }
+  void beat() noexcept;
+
+  /// Simulates a node crash: running container threads are detached from
+  /// tracking and marked failed. Used by failure-injection tests.
+  void fail_node();
+  bool failed() const noexcept { return failed_.load(); }
+
+ private:
+  struct Slot {
+    Container container;
+    ContainerState state = ContainerState::kAllocated;
+    std::thread worker;
+  };
+
+  const NodeId id_;
+  const Resource capacity_;
+  mutable std::mutex mutex_;
+  std::map<ContainerId, Slot> slots_;
+  Resource used_{0, 0};
+  std::atomic<std::int64_t> last_heartbeat_ms_{0};
+  std::atomic<bool> failed_{false};
+};
+
+}  // namespace dsps::yarn

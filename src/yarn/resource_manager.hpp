@@ -1,0 +1,121 @@
+// ResourceManager: allocates containers across NodeManagers, runs the
+// per-application AppMaster, and monitors node heartbeats.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "yarn/node_manager.hpp"
+#include "yarn/types.hpp"
+
+namespace dsps::yarn {
+
+class ResourceManager;
+
+/// Handed to an AppMaster so it can request/launch/release containers —
+/// the YARN AM-RM + AM-NM protocols collapsed into one in-process interface.
+class AppMasterContext {
+ public:
+  AppMasterContext(ResourceManager& rm, ApplicationId app)
+      : rm_(rm), app_(app) {}
+
+  ApplicationId application_id() const noexcept { return app_; }
+
+  /// Requests one container anywhere in the cluster.
+  Result<Container> allocate(const Resource& resource);
+
+  /// Launches work in an allocated container.
+  Status launch(const Container& container, std::function<void()> work);
+
+  /// Waits for a launched container to finish.
+  void await(const Container& container);
+
+  /// Releases a finished container's resources.
+  void release(const Container& container);
+
+ private:
+  ResourceManager& rm_;
+  ApplicationId app_;
+};
+
+/// The AppMaster body: runs inside the AM container.
+using AppMasterFn = std::function<void(AppMasterContext&)>;
+
+struct ApplicationReport {
+  ApplicationId id = 0;
+  std::string name;
+  ApplicationState state = ApplicationState::kSubmitted;
+  int containers_granted = 0;
+};
+
+struct NodeReport {
+  NodeId id;
+  Resource capacity;
+  Resource used;
+  bool alive = true;
+};
+
+class ResourceManager {
+ public:
+  /// `heartbeat_interval_ms` drives the node-liveness monitor.
+  explicit ResourceManager(std::int64_t heartbeat_interval_ms = 50);
+  ~ResourceManager();
+
+  ResourceManager(const ResourceManager&) = delete;
+  ResourceManager& operator=(const ResourceManager&) = delete;
+
+  /// Adds a node to the cluster.
+  NodeManager& add_node(const NodeId& id, const Resource& capacity);
+
+  /// Submits an application: allocates + launches the AM container running
+  /// `app_master`. Returns the application id.
+  Result<ApplicationId> submit_application(const std::string& name,
+                                           const Resource& am_resource,
+                                           AppMasterFn app_master);
+
+  /// Blocks until the application's AppMaster returns.
+  void await_application(ApplicationId id);
+
+  Result<ApplicationReport> application_report(ApplicationId id) const;
+  std::vector<NodeReport> node_reports() const;
+
+  /// Total resources currently free across live nodes.
+  Resource cluster_available() const;
+
+  // --- used by AppMasterContext ---
+  Result<Container> allocate_container(ApplicationId app,
+                                       const Resource& resource,
+                                       bool is_app_master);
+  Status launch_container(const Container& container,
+                          std::function<void()> work);
+  void await_container(const Container& container);
+  void release_container(const Container& container);
+
+ private:
+  void monitor_loop();
+  NodeManager* node(const NodeId& id);
+
+  struct AppEntry {
+    ApplicationReport report;
+    Container am_container;
+  };
+
+  const std::int64_t heartbeat_interval_ms_;
+  mutable std::mutex mutex_;
+  std::map<NodeId, std::unique_ptr<NodeManager>> nodes_;
+  std::map<ApplicationId, AppEntry> apps_;
+  std::atomic<ContainerId> next_container_id_{1};
+  std::atomic<ApplicationId> next_app_id_{1};
+  std::atomic<bool> stopping_{false};
+  std::thread monitor_;
+};
+
+}  // namespace dsps::yarn

@@ -1,0 +1,57 @@
+// Core YARN-sim types: resources, containers, application ids.
+//
+// YARN-sim reproduces the Hadoop YARN concepts Apex-sim depends on
+// (§II-D, Fig. 4): a ResourceManager distributing cluster resources as
+// containers (logical bundles of vcores + memory tied to a node), per-node
+// NodeManager daemons with a heartbeat channel to the RM, and a special
+// per-application AppMaster container (Apex's STRAM).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dsps::yarn {
+
+/// A logical bundle of resources, e.g. {1 vcore, 1024 MB}.
+struct Resource {
+  int vcores = 1;
+  int memory_mb = 1024;
+
+  friend bool operator==(const Resource&, const Resource&) = default;
+};
+
+inline Resource operator+(Resource a, const Resource& b) {
+  a.vcores += b.vcores;
+  a.memory_mb += b.memory_mb;
+  return a;
+}
+
+inline Resource operator-(Resource a, const Resource& b) {
+  a.vcores -= b.vcores;
+  a.memory_mb -= b.memory_mb;
+  return a;
+}
+
+/// True when `a` fits inside `b`.
+inline bool fits(const Resource& a, const Resource& b) {
+  return a.vcores <= b.vcores && a.memory_mb <= b.memory_mb;
+}
+
+using ApplicationId = std::uint64_t;
+using ContainerId = std::uint64_t;
+using NodeId = std::string;
+
+enum class ContainerState { kAllocated, kRunning, kCompleted, kFailed };
+
+/// A granted container: resources on a specific node.
+struct Container {
+  ContainerId id = 0;
+  ApplicationId app = 0;
+  NodeId node;
+  Resource resource;
+  bool is_app_master = false;
+};
+
+enum class ApplicationState { kSubmitted, kRunning, kFinished, kFailed };
+
+}  // namespace dsps::yarn

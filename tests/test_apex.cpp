@@ -1,0 +1,440 @@
+// Tests for Apex-sim: DAG validation, physical planning (thread groups,
+// containers, localities), the window lifecycle, partitioning, codecs, and
+// the Kafka operator library on YARN-sim.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+
+#include "apex/dag.hpp"
+#include "apex/engine.hpp"
+#include "apex/operators_library.hpp"
+#include "yarn/resource_manager.hpp"
+
+namespace dsps::apex {
+namespace {
+
+/// Emits the integers [0, n) as strings.
+class IntInput final : public InputOperator {
+ public:
+  explicit IntInput(int n) : n_(n), out_(register_output()) {}
+  bool emit_tuples(std::size_t budget) override {
+    for (std::size_t b = 0; b < budget && next_ < n_; ++b) {
+      emit(out_, make_tuple_of<std::string>(std::to_string(next_++)));
+    }
+    return next_ < n_;
+  }
+
+ private:
+  int n_;
+  int next_ = 0;
+  int out_;
+};
+
+/// Collects values with full lifecycle tracking.
+class CollectorOp final : public Operator {
+ public:
+  struct Shared {
+    std::mutex mutex;
+    std::vector<std::string> values;
+    std::atomic<int> setups{0};
+    std::atomic<int> begin_windows{0};
+    std::atomic<int> end_windows{0};
+    std::atomic<int> teardowns{0};
+    std::atomic<int> end_streams{0};
+  };
+
+  explicit CollectorOp(std::shared_ptr<Shared> shared)
+      : shared_(std::move(shared)), in_(register_input([this](const Tuple& t) {
+          std::lock_guard lock(shared_->mutex);
+          shared_->values.push_back(tuple_cast<std::string>(t));
+        })) {}
+
+  void setup(const OperatorContext&) override { shared_->setups.fetch_add(1); }
+  void begin_window(WindowId) override { shared_->begin_windows.fetch_add(1); }
+  void end_window() override { shared_->end_windows.fetch_add(1); }
+  void end_stream() override { shared_->end_streams.fetch_add(1); }
+  void teardown() override { shared_->teardowns.fetch_add(1); }
+
+ private:
+  std::shared_ptr<Shared> shared_;
+  int in_;
+};
+
+yarn::ResourceManager& test_rm() {
+  static yarn::ResourceManager* rm = [] {
+    auto* r = new yarn::ResourceManager();
+    r->add_node("n0", yarn::Resource{64, 65536});
+    r->add_node("n1", yarn::Resource{64, 65536});
+    return r;
+  }();
+  return *rm;
+}
+
+std::vector<std::string> string_range(int n) {
+  std::vector<std::string> v;
+  for (int i = 0; i < n; ++i) v.push_back(std::to_string(i));
+  return v;
+}
+
+// --- DAG validation --------------------------------------------------------------
+
+TEST(ApexDagTest, ValidLinearDag) {
+  Dag dag;
+  const int in = dag.add_input_operator("in", [] {
+    return std::make_unique<IntInput>(1);
+  });
+  const int op = dag.add_operator("op", [] {
+    return std::make_unique<CollectorOp>(
+        std::make_shared<CollectorOp::Shared>());
+  });
+  dag.add_stream("s", PortRef{in, 0}, PortRef{op, 0},
+                 Locality::kThreadLocal, {});
+  EXPECT_TRUE(dag.validate().is_ok());
+}
+
+TEST(ApexDagTest, RejectsStreamIntoInputOperator) {
+  Dag dag;
+  const int a = dag.add_input_operator("a", [] {
+    return std::make_unique<IntInput>(1);
+  });
+  const int b = dag.add_input_operator("b", [] {
+    return std::make_unique<IntInput>(1);
+  });
+  dag.add_stream("s", PortRef{a, 0}, PortRef{b, 0}, Locality::kThreadLocal,
+                 {});
+  EXPECT_EQ(dag.validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ApexDagTest, RejectsSelfLoop) {
+  Dag dag;
+  const int op = dag.add_operator("op", [] {
+    return std::make_unique<CollectorOp>(
+        std::make_shared<CollectorOp::Shared>());
+  });
+  dag.add_stream("s", PortRef{op, 0}, PortRef{op, 0}, Locality::kThreadLocal,
+                 {});
+  EXPECT_EQ(dag.validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ApexDagTest, RejectsNodeLocalWithoutCodec) {
+  Dag dag;
+  const int in = dag.add_input_operator("in", [] {
+    return std::make_unique<IntInput>(1);
+  });
+  const int op = dag.add_operator("op", [] {
+    return std::make_unique<CollectorOp>(
+        std::make_shared<CollectorOp::Shared>());
+  });
+  dag.add_stream("s", PortRef{in, 0}, PortRef{op, 0}, Locality::kNodeLocal,
+                 {});
+  EXPECT_EQ(dag.validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ApexDagTest, RejectsUnevenThreadLocalPartitions) {
+  Dag dag;
+  const int in = dag.add_input_operator("in", [] {
+    return std::make_unique<IntInput>(1);
+  });
+  const int op = dag.add_operator("op", [] {
+    return std::make_unique<CollectorOp>(
+        std::make_shared<CollectorOp::Shared>());
+  });
+  dag.set_partitions(op, 2);
+  dag.add_stream("s", PortRef{in, 0}, PortRef{op, 0},
+                 Locality::kThreadLocal, {});
+  EXPECT_EQ(dag.validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ApexDagTest, RejectsPartitionedInputOperator) {
+  Dag dag;
+  const int in = dag.add_input_operator("in", [] {
+    return std::make_unique<IntInput>(1);
+  });
+  EXPECT_THROW(dag.set_partitions(in, 2), std::invalid_argument);
+}
+
+TEST(ApexDagTest, RejectsDagWithoutInputOperator) {
+  Dag dag;
+  dag.add_operator("lonely", [] {
+    return std::make_unique<CollectorOp>(
+        std::make_shared<CollectorOp::Shared>());
+  });
+  EXPECT_EQ(dag.validate().code(), StatusCode::kInvalidArgument);
+}
+
+// --- physical planning --------------------------------------------------------------
+
+TEST(ApexPlanTest, ThreadLocalChainSharesContainer) {
+  Dag dag;
+  const int in = dag.add_input_operator("in", [] {
+    return std::make_unique<IntInput>(1);
+  });
+  const int op = dag.add_operator("op", [] {
+    return std::make_unique<CollectorOp>(
+        std::make_shared<CollectorOp::Shared>());
+  });
+  dag.add_stream("s", PortRef{in, 0}, PortRef{op, 0},
+                 Locality::kThreadLocal, {});
+  const auto plan = render_physical_plan(dag);
+  ASSERT_TRUE(plan.is_ok());
+  // One thread group, one container.
+  EXPECT_NE(plan.value().find("Thread Group 0"), std::string::npos);
+  EXPECT_EQ(plan.value().find("Thread Group 1"), std::string::npos);
+}
+
+TEST(ApexPlanTest, NodeLocalSplitsContainers) {
+  Dag dag;
+  const int in = dag.add_input_operator("in", [] {
+    return std::make_unique<IntInput>(1);
+  });
+  const int op = dag.add_operator("op", [] {
+    return std::make_unique<CollectorOp>(
+        std::make_shared<CollectorOp::Shared>());
+  });
+  dag.add_stream("s", PortRef{in, 0}, PortRef{op, 0}, Locality::kNodeLocal,
+                 string_codec());
+  const auto plan = render_physical_plan(dag);
+  ASSERT_TRUE(plan.is_ok());
+  EXPECT_NE(plan.value().find("Container 0"), std::string::npos);
+  EXPECT_NE(plan.value().find("Container 1"), std::string::npos);
+}
+
+// --- execution -----------------------------------------------------------------------
+
+struct LocalityCase {
+  Locality locality;
+  const char* name;
+};
+
+class ApexLocalityTest : public ::testing::TestWithParam<LocalityCase> {};
+
+TEST_P(ApexLocalityTest, DeliversAllTuplesInOrder) {
+  Dag dag;
+  const int in = dag.add_input_operator("in", [] {
+    return std::make_unique<IntInput>(500);
+  });
+  auto shared = std::make_shared<CollectorOp::Shared>();
+  const int op = dag.add_operator("collect", [shared] {
+    return std::make_unique<CollectorOp>(shared);
+  });
+  dag.add_stream("s", PortRef{in, 0}, PortRef{op, 0}, GetParam().locality,
+                 GetParam().locality == Locality::kNodeLocal
+                     ? string_codec()
+                     : CodecFactory{});
+  auto stats = launch_application(test_rm(), dag, EngineConfig{});
+  ASSERT_TRUE(stats.is_ok()) << stats.status().to_string();
+  ASSERT_EQ(shared->values.size(), 500u);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(shared->values[static_cast<std::size_t>(i)],
+              std::to_string(i));
+  }
+  EXPECT_EQ(stats.value().tuples_in.at("collect"), 500u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Localities, ApexLocalityTest,
+    ::testing::Values(LocalityCase{Locality::kThreadLocal, "thread"},
+                      LocalityCase{Locality::kContainerLocal, "container"},
+                      LocalityCase{Locality::kNodeLocal, "node"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(ApexEngineTest, WindowLifecycleBalanced) {
+  Dag dag;
+  const int in = dag.add_input_operator("in", [] {
+    return std::make_unique<IntInput>(10000);
+  });
+  auto shared = std::make_shared<CollectorOp::Shared>();
+  const int op = dag.add_operator("collect", [shared] {
+    return std::make_unique<CollectorOp>(shared);
+  });
+  dag.add_stream("s", PortRef{in, 0}, PortRef{op, 0},
+                 Locality::kContainerLocal, {});
+  EngineConfig config;
+  config.window_tuple_budget = 1024;
+  auto stats = launch_application(test_rm(), dag, config);
+  ASSERT_TRUE(stats.is_ok());
+  EXPECT_EQ(shared->setups.load(), 1);
+  EXPECT_EQ(shared->teardowns.load(), 1);
+  EXPECT_EQ(shared->end_streams.load(), 1);
+  EXPECT_EQ(shared->begin_windows.load(), shared->end_windows.load());
+  // 10000 tuples at 1024/window => at least 10 windows were emitted.
+  EXPECT_GE(stats.value().windows_emitted, 10);
+}
+
+TEST(ApexEngineTest, PartitionedOperatorSeesEverythingOnce) {
+  Dag dag;
+  const int in = dag.add_input_operator("in", [] {
+    return std::make_unique<IntInput>(1000);
+  });
+  // Pass-through compute partitioned 3 ways, merged into one collector.
+  const int compute = dag.add_operator(
+      "compute", map_string_factory([](const std::string& s) { return s; }));
+  dag.set_partitions(compute, 3);
+  auto shared = std::make_shared<CollectorOp::Shared>();
+  const int sink = dag.add_operator("collect", [shared] {
+    return std::make_unique<CollectorOp>(shared);
+  });
+  dag.add_stream("a", PortRef{in, 0}, PortRef{compute, 0},
+                 Locality::kContainerLocal, {});
+  dag.add_stream("b", PortRef{compute, 0}, PortRef{sink, 0},
+                 Locality::kContainerLocal, {});
+  auto stats = launch_application(test_rm(), dag, EngineConfig{});
+  ASSERT_TRUE(stats.is_ok());
+  ASSERT_EQ(shared->values.size(), 1000u);
+  std::vector<std::string> sorted = shared->values;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::string> expected = string_range(1000);
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST(ApexEngineTest, InvalidDagRejectedBeforeDeployment) {
+  Dag dag;  // empty
+  auto stats = launch_application(test_rm(), dag, EngineConfig{});
+  EXPECT_FALSE(stats.is_ok());
+}
+
+TEST(ApexEngineTest, ReportsContainerAndGroupCounts) {
+  Dag dag;
+  const int in = dag.add_input_operator("in", [] {
+    return std::make_unique<IntInput>(10);
+  });
+  const int a = dag.add_operator(
+      "a", map_string_factory([](const std::string& s) { return s; }));
+  const int b = dag.add_operator(
+      "b", map_string_factory([](const std::string& s) { return s; }));
+  dag.add_stream("s1", PortRef{in, 0}, PortRef{a, 0}, Locality::kNodeLocal,
+                 string_codec());
+  dag.add_stream("s2", PortRef{a, 0}, PortRef{b, 0}, Locality::kNodeLocal,
+                 string_codec());
+  auto stats = launch_application(test_rm(), dag, EngineConfig{});
+  ASSERT_TRUE(stats.is_ok());
+  EXPECT_EQ(stats.value().containers_used, 3);
+  EXPECT_EQ(stats.value().thread_groups, 3);
+}
+
+TEST(ApexEngineTest, RunsOnDegradedClusterAfterNodeFailure) {
+  // Failure injection: one of two YARN nodes dies before submission; the
+  // application must still deploy and complete on the surviving node.
+  yarn::ResourceManager rm;
+  auto& doomed = rm.add_node("doomed", yarn::Resource{64, 65536});
+  rm.add_node("survivor", yarn::Resource{64, 65536});
+  doomed.fail_node();
+
+  Dag dag;
+  const int in = dag.add_input_operator("in", [] {
+    return std::make_unique<IntInput>(200);
+  });
+  auto shared = std::make_shared<CollectorOp::Shared>();
+  const int op = dag.add_operator("collect", [shared] {
+    return std::make_unique<CollectorOp>(shared);
+  });
+  dag.add_stream("s", PortRef{in, 0}, PortRef{op, 0},
+                 Locality::kNodeLocal, string_codec());
+  auto stats = launch_application(rm, dag, EngineConfig{});
+  ASSERT_TRUE(stats.is_ok()) << stats.status().to_string();
+  EXPECT_EQ(shared->values.size(), 200u);
+  for (const auto& report : rm.node_reports()) {
+    if (report.id == "doomed") {
+      EXPECT_FALSE(report.alive);
+    }
+  }
+}
+
+TEST(ApexEngineTest, FailsCleanlyWhenClusterTooSmall) {
+  yarn::ResourceManager rm;
+  rm.add_node("tiny", yarn::Resource{1, 256});  // fits the AM only
+  Dag dag;
+  const int in = dag.add_input_operator("in", [] {
+    return std::make_unique<IntInput>(1);
+  });
+  const int op = dag.add_operator(
+      "op", map_string_factory([](const std::string& s) { return s; }));
+  dag.add_stream("s", PortRef{in, 0}, PortRef{op, 0},
+                 Locality::kNodeLocal, string_codec());
+  auto stats = launch_application(rm, dag, EngineConfig{});
+  EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted);
+}
+
+// --- codecs ---------------------------------------------------------------------------
+
+TEST(ApexCodecTest, StringCodecRoundTrip) {
+  StringCodec codec;
+  const Tuple tuple = make_tuple_of<std::string>("hello\tworld");
+  const Bytes bytes = codec.serialize(tuple);
+  const Tuple restored = codec.deserialize(bytes);
+  EXPECT_EQ(tuple_cast<std::string>(restored), "hello\tworld");
+}
+
+TEST(ApexCodecTest, EmptyStringRoundTrip) {
+  StringCodec codec;
+  const Tuple restored = codec.deserialize(
+      codec.serialize(make_tuple_of<std::string>("")));
+  EXPECT_EQ(tuple_cast<std::string>(restored), "");
+}
+
+// --- functional operator library ----------------------------------------------------
+
+TEST(ApexOperatorsTest, MapFilterFlatMapCompose) {
+  Dag dag;
+  const int in = dag.add_input_operator("in", [] {
+    return std::make_unique<IntInput>(10);
+  });
+  const int doubled = dag.add_operator(
+      "double", map_string_factory([](const std::string& s) {
+        return std::to_string(std::stoi(s) * 2);
+      }));
+  const int filtered = dag.add_operator(
+      "filter", filter_string_factory([](const std::string& s) {
+        return std::stoi(s) >= 10;
+      }));
+  const int expanded = dag.add_operator(
+      "expand", flat_map_string_factory([](const std::string& s) {
+        return std::vector<std::string>{s, s};
+      }));
+  auto shared = std::make_shared<CollectorOp::Shared>();
+  const int sink = dag.add_operator("collect", [shared] {
+    return std::make_unique<CollectorOp>(shared);
+  });
+  dag.add_stream("s1", PortRef{in, 0}, PortRef{doubled, 0},
+                 Locality::kThreadLocal, {});
+  dag.add_stream("s2", PortRef{doubled, 0}, PortRef{filtered, 0},
+                 Locality::kThreadLocal, {});
+  dag.add_stream("s3", PortRef{filtered, 0}, PortRef{expanded, 0},
+                 Locality::kThreadLocal, {});
+  dag.add_stream("s4", PortRef{expanded, 0}, PortRef{sink, 0},
+                 Locality::kThreadLocal, {});
+  auto stats = launch_application(test_rm(), dag, EngineConfig{});
+  ASSERT_TRUE(stats.is_ok());
+  // Inputs 0..9 doubled -> 0..18 even; >=10: 10,12,14,16,18; duplicated.
+  EXPECT_EQ(shared->values.size(), 10u);
+}
+
+// --- Kafka operators end to end -----------------------------------------------------
+
+TEST(ApexKafkaTest, KafkaInputToOutputOnYarn) {
+  kafka::Broker broker;
+  broker.create_topic("in", kafka::TopicConfig{.partitions = 1}).expect_ok();
+  broker.create_topic("out", kafka::TopicConfig{.partitions = 1}).expect_ok();
+  for (int i = 0; i < 300; ++i) {
+    broker.append({"in", 0},
+                  kafka::ProducerRecord{.value = std::to_string(i)}, false)
+        .status()
+        .expect_ok();
+  }
+  Dag dag;
+  const int in =
+      dag.add_input_operator("kafkaIn", kafka_input_factory(broker, "in"));
+  const int out = dag.add_operator(
+      "kafkaOut", kafka_output_factory(
+                      broker, KafkaStringOutput::Config{.topic = "out"}));
+  dag.add_stream("s", PortRef{in, 0}, PortRef{out, 0},
+                 Locality::kThreadLocal, {});
+  auto stats = launch_application(test_rm(), dag, EngineConfig{});
+  ASSERT_TRUE(stats.is_ok());
+  EXPECT_EQ(broker.end_offset({"out", 0}).value(), 300);
+}
+
+}  // namespace
+}  // namespace dsps::apex

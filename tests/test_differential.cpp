@@ -1,0 +1,310 @@
+// Randomized differential tests.
+//
+// 1. Pipeline fuzzing: seeded random chains of map/filter/flatmap transforms
+//    over seeded random data, executed on the DirectRunner and on all three
+//    engine runners at parallelism 1 and 2 — outputs must be identical as
+//    multisets. This is the strongest form of the abstraction-layer
+//    correctness claim: ANY pipeline, same answer everywhere.
+// 2. Broker fuzzing: seeded random append/fetch/batch sequences checked
+//    against a simple in-memory model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "beam/kafka_io.hpp"
+#include "beam/pipeline.hpp"
+#include "beam/runners/apex_runner.hpp"
+#include "beam/runners/direct_runner.hpp"
+#include "beam/runners/flink_runner.hpp"
+#include "beam/runners/spark_runner.hpp"
+#include "common/rng.hpp"
+
+namespace dsps {
+namespace {
+
+// --- random pipeline construction --------------------------------------------
+
+/// One randomly chosen deterministic transform over strings, plus its
+/// reference implementation over a vector.
+struct RandomStage {
+  std::function<beam::PCollection<std::string>(
+      const beam::PCollection<std::string>&)>
+      apply;
+  std::function<std::vector<std::string>(std::vector<std::string>)> reference;
+};
+
+RandomStage make_stage(std::uint64_t pick, std::uint64_t param) {
+  switch (pick % 5) {
+    case 0: {  // append a marker
+      const std::string marker = "#" + std::to_string(param % 10);
+      return RandomStage{
+          .apply =
+              [marker](const beam::PCollection<std::string>& in) {
+                return in.apply(
+                    beam::MapElements<std::string, std::string>::via(
+                        [marker](const std::string& s) { return s + marker; },
+                        "Append"));
+              },
+          .reference =
+              [marker](std::vector<std::string> in) {
+                for (auto& s : in) s += marker;
+                return in;
+              }};
+    }
+    case 1: {  // keep by length parity
+      const bool keep_even = param % 2 == 0;
+      return RandomStage{
+          .apply =
+              [keep_even](const beam::PCollection<std::string>& in) {
+                return in.apply(beam::Filter<std::string>::by(
+                    [keep_even](const std::string& s) {
+                      return (s.size() % 2 == 0) == keep_even;
+                    },
+                    "LengthParity"));
+              },
+          .reference =
+              [keep_even](std::vector<std::string> in) {
+                std::vector<std::string> out;
+                for (auto& s : in) {
+                  if ((s.size() % 2 == 0) == keep_even) {
+                    out.push_back(std::move(s));
+                  }
+                }
+                return out;
+              }};
+    }
+    case 2: {  // duplicate records whose numeric tail is divisible by k
+      const auto k = 2 + param % 5;
+      return RandomStage{
+          .apply =
+              [k](const beam::PCollection<std::string>& in) {
+                return in.apply(
+                    beam::FlatMapElements<std::string, std::string>::via(
+                        [k](const std::string& s,
+                            const std::function<void(std::string)>& out) {
+                          out(s);
+                          if (std::hash<std::string>{}(s) % k == 0) out(s);
+                        },
+                        "MaybeDuplicate"));
+              },
+          .reference =
+              [k](std::vector<std::string> in) {
+                std::vector<std::string> out;
+                for (auto& s : in) {
+                  out.push_back(s);
+                  if (std::hash<std::string>{}(s) % k == 0) out.push_back(s);
+                }
+                return out;
+              }};
+    }
+    case 3: {  // truncate to a prefix
+      const std::size_t length = 1 + param % 12;
+      return RandomStage{
+          .apply =
+              [length](const beam::PCollection<std::string>& in) {
+                return in.apply(
+                    beam::MapElements<std::string, std::string>::via(
+                        [length](const std::string& s) {
+                          return s.substr(0, length);
+                        },
+                        "Truncate"));
+              },
+          .reference =
+              [length](std::vector<std::string> in) {
+                for (auto& s : in) s = s.substr(0, length);
+                return in;
+              }};
+    }
+    default: {  // keep records containing a digit
+      const char digit = static_cast<char>('0' + param % 10);
+      return RandomStage{
+          .apply =
+              [digit](const beam::PCollection<std::string>& in) {
+                return in.apply(beam::Filter<std::string>::by(
+                    [digit](const std::string& s) {
+                      return s.find(digit) != std::string::npos;
+                    },
+                    "HasDigit"));
+              },
+          .reference =
+              [digit](std::vector<std::string> in) {
+                std::vector<std::string> out;
+                for (auto& s : in) {
+                  if (s.find(digit) != std::string::npos) {
+                    out.push_back(std::move(s));
+                  }
+                }
+                return out;
+              }};
+    }
+  }
+}
+
+std::vector<std::string> random_input(Xoshiro256& rng, std::size_t count) {
+  std::vector<std::string> lines;
+  lines.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string line = "rec" + std::to_string(rng.next_below(1000));
+    const auto extra = rng.next_below(20);
+    line.append(extra, 'x');
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+class PipelineFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineFuzzTest, AllRunnersMatchReference) {
+  const std::uint64_t seed = GetParam();
+  Xoshiro256 rng(seed);
+  const auto input = random_input(rng, 200 + rng.next_below(200));
+  const std::size_t stage_count = 1 + rng.next_below(5);
+  std::vector<RandomStage> stages;
+  for (std::size_t i = 0; i < stage_count; ++i) {
+    stages.push_back(make_stage(rng.next(), rng.next()));
+  }
+
+  // Reference result.
+  std::vector<std::string> expected = input;
+  for (const auto& stage : stages) {
+    expected = stage.reference(std::move(expected));
+  }
+  std::sort(expected.begin(), expected.end());
+
+  struct RunnerCase {
+    const char* name;
+    std::function<std::unique_ptr<beam::PipelineRunner>()> make;
+  };
+  const RunnerCase runners[] = {
+      {"direct", [] { return std::make_unique<beam::DirectRunner>(); }},
+      {"flink-p2",
+       [] {
+         return std::make_unique<beam::FlinkRunner>(
+             beam::FlinkRunnerOptions{.parallelism = 2});
+       }},
+      {"spark-p2",
+       [] {
+         return std::make_unique<beam::SparkRunner>(
+             beam::SparkRunnerOptions{.parallelism = 2,
+                                      .batch_interval_ms = 5});
+       }},
+      {"apex-p2",
+       [] {
+         return std::make_unique<beam::ApexRunner>(
+             beam::ApexRunnerOptions{.parallelism = 2});
+       }},
+  };
+
+  for (const auto& runner_case : runners) {
+    kafka::Broker broker;
+    broker.create_topic("in", kafka::TopicConfig{.partitions = 1})
+        .expect_ok();
+    broker.create_topic("out", kafka::TopicConfig{.partitions = 1})
+        .expect_ok();
+    for (const auto& line : input) {
+      broker.append({"in", 0}, kafka::ProducerRecord{.value = line}, false)
+          .status()
+          .expect_ok();
+    }
+    beam::Pipeline pipeline;
+    auto collection =
+        pipeline
+            .apply(beam::KafkaIO::read(broker,
+                                       beam::KafkaReadConfig{.topic = "in"}))
+            .apply(beam::KafkaIO::without_metadata())
+            .apply(beam::Values<std::string>::create<std::string>());
+    for (const auto& stage : stages) collection = stage.apply(collection);
+    collection.apply(
+        beam::KafkaIO::write(broker, beam::KafkaWriteConfig{.topic = "out"}));
+
+    auto runner = runner_case.make();
+    auto result = pipeline.run(*runner);
+    ASSERT_TRUE(result.is_ok())
+        << runner_case.name << ": " << result.status().to_string();
+
+    std::vector<kafka::StoredRecord> stored;
+    broker.fetch({"out", 0}, 0, 1'000'000, stored).status().expect_ok();
+    std::vector<std::string> actual;
+    for (auto& record : stored) actual.push_back(std::move(record.value));
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected)
+        << "seed " << seed << " diverged on " << runner_case.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// --- broker model fuzzing ---------------------------------------------------------
+
+TEST(BrokerFuzzTest, RandomOpsMatchInMemoryModel) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Xoshiro256 rng(seed);
+    kafka::Broker broker;
+    const int partitions = 1 + static_cast<int>(rng.next_below(4));
+    broker
+        .create_topic("t", kafka::TopicConfig{.partitions = partitions})
+        .expect_ok();
+    std::vector<std::vector<std::string>> model(
+        static_cast<std::size_t>(partitions));
+
+    for (int op = 0; op < 500; ++op) {
+      const int partition = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(partitions)));
+      auto& shadow = model[static_cast<std::size_t>(partition)];
+      switch (rng.next_below(3)) {
+        case 0: {  // single append
+          const std::string value = "v" + std::to_string(rng.next_below(1000));
+          broker
+              .append({"t", partition},
+                      kafka::ProducerRecord{.value = value}, false)
+              .status()
+              .expect_ok();
+          shadow.push_back(value);
+          break;
+        }
+        case 1: {  // batch append
+          std::vector<kafka::ProducerRecord> batch;
+          const auto n = 1 + rng.next_below(16);
+          for (std::uint64_t i = 0; i < n; ++i) {
+            const std::string value =
+                "b" + std::to_string(rng.next_below(1000));
+            batch.push_back(kafka::ProducerRecord{.value = value});
+            shadow.push_back(value);
+          }
+          broker.append_batch({"t", partition}, batch, false)
+              .status()
+              .expect_ok();
+          break;
+        }
+        default: {  // random range fetch
+          if (shadow.empty()) break;
+          const auto offset = rng.next_below(shadow.size());
+          const auto limit = 1 + rng.next_below(32);
+          std::vector<kafka::StoredRecord> fetched;
+          broker
+              .fetch({"t", partition}, static_cast<std::int64_t>(offset),
+                     limit, fetched)
+              .status()
+              .expect_ok();
+          const std::size_t expected_count =
+              std::min<std::size_t>(limit, shadow.size() - offset);
+          ASSERT_EQ(fetched.size(), expected_count) << "seed " << seed;
+          for (std::size_t i = 0; i < fetched.size(); ++i) {
+            EXPECT_EQ(fetched[i].value, shadow[offset + i]);
+            EXPECT_EQ(fetched[i].offset,
+                      static_cast<std::int64_t>(offset + i));
+          }
+          break;
+        }
+      }
+      EXPECT_EQ(broker.end_offset({"t", partition}).value(),
+                static_cast<std::int64_t>(shadow.size()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dsps

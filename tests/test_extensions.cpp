@@ -1,0 +1,331 @@
+// Tests for the extension features: sliding/session windows, triggered
+// GroupByKey, and the NEXMark-inspired query suite.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "beam/runners/apex_runner.hpp"
+#include "common/strings.hpp"
+#include "beam/runners/direct_runner.hpp"
+#include "beam/runners/flink_runner.hpp"
+#include "beam/runners/spark_runner.hpp"
+#include "beam/windowing.hpp"
+#include "queries/nexmark_queries.hpp"
+#include "workload/data_sender.hpp"
+#include "workload/nexmark.hpp"
+
+namespace dsps {
+namespace {
+
+using beam::BoundedWindow;
+using beam::KV;
+
+// --- sliding windows -----------------------------------------------------------
+
+TEST(SlidingWindowTest, ElementLandsInSizeOverPeriodWindows) {
+  const auto fn = beam::sliding_windows(60, 30);
+  const auto windows = fn(75);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0], (BoundedWindow{30, 90}));
+  EXPECT_EQ(windows[1], (BoundedWindow{60, 120}));
+}
+
+TEST(SlidingWindowTest, PeriodEqualsSizeDegeneratesToFixed) {
+  const auto sliding = beam::sliding_windows(100, 100);
+  const auto fixed = beam::fixed_windows(100);
+  for (const Timestamp t : {0L, 1L, 99L, 100L, 250L}) {
+    EXPECT_EQ(sliding(t), fixed(t)) << "t=" << t;
+  }
+}
+
+TEST(SlidingWindowTest, EveryWindowContainsTheTimestamp) {
+  const auto fn = beam::sliding_windows(100, 25);
+  for (Timestamp t = 0; t < 500; t += 7) {
+    const auto windows = fn(t);
+    EXPECT_EQ(windows.size(), 4u);
+    for (const auto& window : windows) {
+      EXPECT_LE(window.start, t);
+      EXPECT_GT(window.end, t);
+    }
+  }
+}
+
+TEST(SlidingWindowTest, RejectsBadParameters) {
+  EXPECT_THROW(beam::sliding_windows(10, 20), std::invalid_argument);
+  EXPECT_THROW(beam::sliding_windows(0, 0), std::invalid_argument);
+}
+
+// --- session windows --------------------------------------------------------------
+
+template <typename T>
+struct Collected {
+  std::mutex mutex;
+  std::vector<T> values;
+};
+
+TEST(SessionWindowTest, MergesBurstsSeparatedByGaps) {
+  using Keyed = KV<std::string, std::int64_t>;
+  using Grouped = KV<std::string, std::vector<std::int64_t>>;
+
+  // Events for key "u" at times 0, 10, 20 (one session with gap 15),
+  // then 100, 105 (second session).
+  struct Stamp final : beam::DoFn<std::int64_t, Keyed> {
+    void process(ProcessContext& ctx) override {
+      ctx.output_with_timestamp(Keyed{"u", ctx.element()}, ctx.element());
+    }
+  };
+  auto collected = std::make_shared<Collected<Grouped>>();
+  struct Sink final : beam::DoFn<Grouped, std::int64_t> {
+    std::shared_ptr<Collected<Grouped>> out;
+    explicit Sink(std::shared_ptr<Collected<Grouped>> o)
+        : out(std::move(o)) {}
+    void process(ProcessContext& ctx) override {
+      std::lock_guard lock(out->mutex);
+      out->values.push_back(ctx.element());
+    }
+  };
+
+  beam::Pipeline pipeline;
+  pipeline
+      .apply(beam::Create<std::int64_t>::of({0, 10, 20, 100, 105}))
+      .apply(beam::ParDo::of<std::int64_t, Keyed>(std::make_shared<Stamp>()))
+      .apply(beam::WindowInto<Keyed>(beam::session_windows(15)))
+      .apply(beam::SessionGroupByKey<std::string, std::int64_t>{})
+      .apply(beam::ParDo::of<Grouped, std::int64_t>(
+          std::make_shared<Sink>(collected)));
+  beam::DirectRunner runner;
+  ASSERT_TRUE(pipeline.run(runner).is_ok());
+  ASSERT_EQ(collected->values.size(), 2u);
+  std::sort(collected->values.begin(), collected->values.end(),
+            [](const Grouped& a, const Grouped& b) {
+              return a.value.size() > b.value.size();
+            });
+  EXPECT_EQ(collected->values[0].value.size(), 3u);  // the 0/10/20 burst
+  EXPECT_EQ(collected->values[1].value.size(), 2u);  // the 100/105 burst
+}
+
+TEST(SessionWindowTest, DistinctKeysDoNotMerge) {
+  using Keyed = KV<std::string, std::int64_t>;
+  using Grouped = KV<std::string, std::vector<std::int64_t>>;
+  struct Stamp final : beam::DoFn<std::int64_t, Keyed> {
+    void process(ProcessContext& ctx) override {
+      ctx.output_with_timestamp(
+          Keyed{ctx.element() % 2 == 0 ? "even" : "odd", ctx.element()},
+          /*same time for all:*/ 0);
+    }
+  };
+  auto collected = std::make_shared<Collected<Grouped>>();
+  struct Sink final : beam::DoFn<Grouped, std::int64_t> {
+    std::shared_ptr<Collected<Grouped>> out;
+    explicit Sink(std::shared_ptr<Collected<Grouped>> o)
+        : out(std::move(o)) {}
+    void process(ProcessContext& ctx) override {
+      std::lock_guard lock(out->mutex);
+      out->values.push_back(ctx.element());
+    }
+  };
+  beam::Pipeline pipeline;
+  pipeline.apply(beam::Create<std::int64_t>::of({0, 1, 2, 3}))
+      .apply(beam::ParDo::of<std::int64_t, Keyed>(std::make_shared<Stamp>()))
+      .apply(beam::WindowInto<Keyed>(beam::session_windows(100)))
+      .apply(beam::SessionGroupByKey<std::string, std::int64_t>{})
+      .apply(beam::ParDo::of<Grouped, std::int64_t>(
+          std::make_shared<Sink>(collected)));
+  beam::DirectRunner runner;
+  ASSERT_TRUE(pipeline.run(runner).is_ok());
+  EXPECT_EQ(collected->values.size(), 2u);  // one session per key
+}
+
+// --- triggered GroupByKey ------------------------------------------------------------
+
+TEST(TriggeredGbkTest, FiresEarlyPanesEveryNElements) {
+  using Keyed = KV<std::string, std::int64_t>;
+  using Grouped = KV<std::string, std::vector<std::int64_t>>;
+  auto collected = std::make_shared<Collected<Grouped>>();
+  std::vector<beam::PaneInfo> panes;
+  std::mutex panes_mutex;
+
+  struct Sink final : beam::DoFn<Grouped, std::int64_t> {
+    std::shared_ptr<Collected<Grouped>> out;
+    std::vector<beam::PaneInfo>* panes;
+    std::mutex* panes_mutex;
+    Sink(std::shared_ptr<Collected<Grouped>> o,
+         std::vector<beam::PaneInfo>* p, std::mutex* m)
+        : out(std::move(o)), panes(p), panes_mutex(m) {}
+    void process(ProcessContext& ctx) override {
+      std::lock_guard lock(*panes_mutex);
+      out->values.push_back(ctx.element());
+      panes->push_back(ctx.pane());
+    }
+  };
+
+  std::vector<Keyed> input;
+  for (std::int64_t i = 0; i < 7; ++i) input.push_back(Keyed{"k", i});
+  beam::Pipeline pipeline;
+  pipeline.apply(beam::Create<Keyed>::of(std::move(input)))
+      .apply(beam::TriggeredGroupByKey<std::string, std::int64_t>(3))
+      .apply(beam::ParDo::of<Grouped, std::int64_t>(
+          std::make_shared<Sink>(collected, &panes, &panes_mutex)));
+  beam::DirectRunner runner;
+  ASSERT_TRUE(pipeline.run(runner).is_ok());
+  // 7 elements, trigger every 3: panes of 3, 3, then a final pane of 1.
+  ASSERT_EQ(collected->values.size(), 3u);
+  EXPECT_EQ(collected->values[0].value.size(), 3u);
+  EXPECT_EQ(collected->values[1].value.size(), 3u);
+  EXPECT_EQ(collected->values[2].value.size(), 1u);
+  EXPECT_FALSE(panes[0].is_last);
+  EXPECT_FALSE(panes[1].is_last);
+  EXPECT_TRUE(panes[2].is_last);
+  EXPECT_EQ(panes[0].index, 0);
+  EXPECT_EQ(panes[2].index, 2);
+  // Union of panes is exactly the input.
+  std::vector<std::int64_t> all;
+  for (const auto& group : collected->values) {
+    all.insert(all.end(), group.value.begin(), group.value.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<std::int64_t>{0, 1, 2, 3, 4, 5, 6}));
+}
+
+// --- NEXMark generator -----------------------------------------------------------------
+
+TEST(NexmarkGeneratorTest, DeterministicAndParsable) {
+  workload::NexmarkGenerator a({.bid_count = 100, .seed = 5});
+  workload::NexmarkGenerator b({.bid_count = 100, .seed = 5});
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.bid_at(i), b.bid_at(i));
+    EXPECT_EQ(workload::Bid::from_line(a.bid_at(i).to_line()), a.bid_at(i));
+  }
+}
+
+TEST(NexmarkGeneratorTest, EventTimeAdvancesMonotonically) {
+  workload::NexmarkGenerator generator(
+      {.bid_count = 50, .seed = 1, .inter_event_us = 100});
+  for (std::uint64_t i = 1; i < 50; ++i) {
+    EXPECT_EQ(generator.bid_at(i).date_time -
+                  generator.bid_at(i - 1).date_time,
+              100);
+  }
+}
+
+TEST(NexmarkGeneratorTest, IdsWithinConfiguredRanges) {
+  workload::NexmarkGenerator generator(
+      {.bid_count = 1000, .seed = 2, .auctions = 10, .bidders = 20});
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const auto bid = generator.bid_at(i);
+    EXPECT_GE(bid.auction, 0);
+    EXPECT_LT(bid.auction, 10);
+    EXPECT_GE(bid.bidder, 0);
+    EXPECT_LT(bid.bidder, 20);
+    EXPECT_GT(bid.price, 0);
+  }
+}
+
+// --- NEXMark queries across runners ------------------------------------------------------
+
+class NexmarkQueryTest
+    : public ::testing::TestWithParam<queries::Engine> {
+ protected:
+  void SetUp() override {
+    workload::create_benchmark_topic(broker_, "bids").expect_ok();
+    workload::create_benchmark_topic(broker_, "out").expect_ok();
+    workload::NexmarkGenerator generator(
+        {.bid_count = 1000, .seed = 42, .inter_event_us = 1000});
+    bids_ = generator.all_bids();
+    kafka::Producer producer(broker_,
+                             kafka::ProducerConfig{.batch_size = 100});
+    for (const auto& bid : bids_) {
+      producer.send("bids", 0, kafka::ProducerRecord{.value = bid.to_line()})
+          .expect_ok();
+    }
+    producer.close().expect_ok();
+    ctx_ = queries::QueryContext{&broker_, "bids", "out", 1, 42};
+  }
+
+  std::vector<std::string> output() {
+    std::vector<kafka::StoredRecord> stored;
+    broker_.fetch({"out", 0}, 0, 100000, stored).status().expect_ok();
+    std::vector<std::string> values;
+    for (auto& record : stored) values.push_back(std::move(record.value));
+    return values;
+  }
+
+  kafka::Broker broker_;
+  std::vector<workload::Bid> bids_;
+  queries::QueryContext ctx_;
+};
+
+TEST_P(NexmarkQueryTest, Q1ConvertsEveryPrice) {
+  ASSERT_TRUE(
+      queries::run_nexmark(GetParam(),
+                           queries::NexmarkQuery::kQ1CurrencyConversion, ctx_)
+          .is_ok());
+  auto out = output();
+  ASSERT_EQ(out.size(), bids_.size());
+  std::vector<std::string> expected;
+  for (auto bid : bids_) {
+    bid.price = workload::convert_usd_to_eur(bid.price);
+    expected.push_back(bid.to_line());
+  }
+  std::sort(out.begin(), out.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(out, expected);
+}
+
+TEST_P(NexmarkQueryTest, Q2SelectsAuctionSubset) {
+  queries::NexmarkOptions options;
+  options.q2_auction_modulo = 7;
+  ASSERT_TRUE(queries::run_nexmark(GetParam(),
+                                   queries::NexmarkQuery::kQ2Selection, ctx_,
+                                   options)
+                  .is_ok());
+  auto out = output();
+  std::vector<std::string> expected;
+  for (const auto& bid : bids_) {
+    if (bid.auction % 7 == 0) expected.push_back(bid.to_line());
+  }
+  std::sort(out.begin(), out.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(out, expected);
+}
+
+TEST_P(NexmarkQueryTest, QWComputesWindowedMaxima) {
+  queries::NexmarkOptions options;
+  options.window_us = 100'000;  // 100 bids per window at 1000us spacing
+  ASSERT_TRUE(queries::run_nexmark(
+                  GetParam(), queries::NexmarkQuery::kQWWindowedMaxBid, ctx_,
+                  options)
+                  .is_ok());
+  // Reference: max per (auction, window) computed directly.
+  std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t> expected;
+  for (const auto& bid : bids_) {
+    const std::int64_t window_start =
+        bid.date_time - (bid.date_time % options.window_us);
+    auto& cell = expected[{bid.auction, window_start}];
+    cell = std::max(cell, bid.price);
+  }
+  auto out = output();
+  ASSERT_EQ(out.size(), expected.size());
+  for (const auto& line : out) {
+    const auto fields = split(line, ',');
+    ASSERT_EQ(fields.size(), 3u);
+    const auto key = std::make_pair(std::stoll(fields[0]),
+                                    std::stoll(fields[1]));
+    ASSERT_TRUE(expected.contains(key)) << line;
+    EXPECT_EQ(std::stoll(fields[2]), expected.at(key)) << line;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, NexmarkQueryTest,
+                         ::testing::Values(queries::Engine::kFlink,
+                                           queries::Engine::kSpark,
+                                           queries::Engine::kApex),
+                         [](const auto& info) {
+                           return std::string(
+                               queries::engine_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace dsps

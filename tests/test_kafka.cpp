@@ -1,0 +1,534 @@
+// Unit, integration, and property tests for MiniKafka.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "kafka/broker.hpp"
+#include "kafka/consumer.hpp"
+#include "kafka/producer.hpp"
+
+namespace dsps::kafka {
+namespace {
+
+TopicConfig single_partition() {
+  return TopicConfig{.partitions = 1,
+                     .replication_factor = 1,
+                     .timestamp_type = TimestampType::kLogAppendTime};
+}
+
+// --- topic management ---------------------------------------------------------
+
+TEST(BrokerTest, CreateDescribeDelete) {
+  Broker broker;
+  EXPECT_TRUE(broker.create_topic("t", single_partition()).is_ok());
+  EXPECT_TRUE(broker.topic_exists("t"));
+  auto metadata = broker.describe_topic("t");
+  ASSERT_TRUE(metadata.is_ok());
+  EXPECT_EQ(metadata.value().config.partitions, 1);
+  EXPECT_TRUE(broker.delete_topic("t").is_ok());
+  EXPECT_FALSE(broker.topic_exists("t"));
+}
+
+TEST(BrokerTest, DuplicateCreateFails) {
+  Broker broker;
+  EXPECT_TRUE(broker.create_topic("t", single_partition()).is_ok());
+  EXPECT_EQ(broker.create_topic("t", single_partition()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(BrokerTest, InvalidConfigsRejected) {
+  Broker broker;
+  EXPECT_EQ(broker.create_topic("a", {.partitions = 0}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      broker.create_topic("b", {.partitions = 1, .replication_factor = 0})
+          .code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(BrokerTest, UnknownTopicOperationsFail) {
+  Broker broker;
+  EXPECT_EQ(broker.delete_topic("nope").code(), StatusCode::kNotFound);
+  EXPECT_EQ(broker.describe_topic("nope").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(broker.end_offset({"nope", 0}).status().code(),
+            StatusCode::kNotFound);
+  std::vector<StoredRecord> out;
+  EXPECT_EQ(broker.fetch({"nope", 0}, 0, 10, out).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(BrokerTest, PartitionOutOfRangeRejected) {
+  Broker broker;
+  broker.create_topic("t", TopicConfig{.partitions = 2}).expect_ok();
+  EXPECT_EQ(
+      broker.append({"t", 2}, ProducerRecord{}, false).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      broker.append({"t", -1}, ProducerRecord{}, false).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(BrokerTest, ListTopics) {
+  Broker broker;
+  broker.create_topic("a", single_partition()).expect_ok();
+  broker.create_topic("b", single_partition()).expect_ok();
+  EXPECT_EQ(broker.list_topics(), (std::vector<std::string>{"a", "b"}));
+}
+
+// --- append / fetch ------------------------------------------------------------
+
+TEST(BrokerTest, OffsetsAreDenseAndOrdered) {
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  for (int i = 0; i < 100; ++i) {
+    auto offset = broker.append(
+        {"t", 0}, ProducerRecord{.value = std::to_string(i)}, false);
+    ASSERT_TRUE(offset.is_ok());
+    EXPECT_EQ(offset.value(), i);
+  }
+  std::vector<StoredRecord> out;
+  const auto n = broker.fetch({"t", 0}, 0, 1000, out);
+  ASSERT_TRUE(n.is_ok());
+  ASSERT_EQ(n.value(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)].offset, i);
+    EXPECT_EQ(out[static_cast<std::size_t>(i)].value, std::to_string(i));
+  }
+}
+
+TEST(BrokerTest, LogAppendTimeIsMonotonicWithinPartition) {
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  for (int i = 0; i < 50; ++i) {
+    broker.append({"t", 0}, ProducerRecord{.value = "x"}, false)
+        .status()
+        .expect_ok();
+  }
+  std::vector<StoredRecord> out;
+  broker.fetch({"t", 0}, 0, 100, out).status().expect_ok();
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i - 1].timestamp, out[i].timestamp);
+  }
+}
+
+TEST(BrokerTest, CreateTimeTopicKeepsProducerTimestamp) {
+  Broker broker;
+  broker
+      .create_topic("t", TopicConfig{.partitions = 1,
+                                     .timestamp_type =
+                                         TimestampType::kCreateTime})
+      .expect_ok();
+  broker.append({"t", 0}, ProducerRecord{.value = "x", .create_time = 12345},
+                false)
+      .status()
+      .expect_ok();
+  std::vector<StoredRecord> out;
+  broker.fetch({"t", 0}, 0, 1, out).status().expect_ok();
+  EXPECT_EQ(out[0].timestamp, 12345);
+}
+
+TEST(BrokerTest, AppendBatchStampsOneTimestampPerBatch) {
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  std::vector<ProducerRecord> batch(10, ProducerRecord{.value = "v"});
+  broker.append_batch({"t", 0}, batch, false).status().expect_ok();
+  std::vector<StoredRecord> out;
+  broker.fetch({"t", 0}, 0, 100, out).status().expect_ok();
+  ASSERT_EQ(out.size(), 10u);
+  for (const auto& record : out) {
+    EXPECT_EQ(record.timestamp, out.front().timestamp);
+  }
+}
+
+TEST(BrokerTest, FetchFromMiddleOffset) {
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  for (int i = 0; i < 10; ++i) {
+    broker.append({"t", 0}, ProducerRecord{.value = std::to_string(i)}, false)
+        .status()
+        .expect_ok();
+  }
+  std::vector<StoredRecord> out;
+  const auto n = broker.fetch({"t", 0}, 7, 100, out);
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(n.value(), 3u);
+  EXPECT_EQ(out[0].value, "7");
+}
+
+TEST(BrokerTest, FetchBlockingWakesOnAppend) {
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  std::vector<StoredRecord> out;
+  std::thread appender([&broker] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    broker.append({"t", 0}, ProducerRecord{.value = "late"}, false)
+        .status()
+        .expect_ok();
+  });
+  const auto n = broker.fetch_blocking({"t", 0}, 0, 10, 2000, out);
+  appender.join();
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(n.value(), 1u);
+  EXPECT_EQ(out[0].value, "late");
+}
+
+TEST(BrokerTest, FetchBlockingTimesOut) {
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  std::vector<StoredRecord> out;
+  const auto n = broker.fetch_blocking({"t", 0}, 0, 10, 30, out);
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(n.value(), 0u);
+}
+
+TEST(BrokerTest, PartitionInfoTracksFirstAndLastTimestamps) {
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  auto info = broker.partition_info({"t", 0});
+  ASSERT_TRUE(info.is_ok());
+  EXPECT_EQ(info.value().record_count, 0);
+  broker.append({"t", 0}, ProducerRecord{.value = "a"}, false)
+      .status()
+      .expect_ok();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  broker.append({"t", 0}, ProducerRecord{.value = "b"}, false)
+      .status()
+      .expect_ok();
+  info = broker.partition_info({"t", 0});
+  ASSERT_TRUE(info.is_ok());
+  EXPECT_EQ(info.value().record_count, 2);
+  EXPECT_LT(info.value().first_timestamp, info.value().last_timestamp);
+}
+
+// Property: concurrent appends from many threads keep the log dense.
+TEST(BrokerTest, ConcurrentAppendsProduceDenseOffsets) {
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  constexpr int kThreads = 4;
+  constexpr int kEach = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&broker] {
+      for (int i = 0; i < kEach; ++i) {
+        broker.append({"t", 0}, ProducerRecord{.value = "v"}, false)
+            .status()
+            .expect_ok();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(broker.end_offset({"t", 0}).value(), kThreads * kEach);
+}
+
+TEST(BrokerTest, OffsetForTimeBinarySearch) {
+  Broker broker;
+  broker
+      .create_topic("t", TopicConfig{.partitions = 1,
+                                     .timestamp_type =
+                                         TimestampType::kCreateTime})
+      .expect_ok();
+  for (const Timestamp t : {100, 200, 200, 300, 500}) {
+    broker
+        .append({"t", 0}, ProducerRecord{.value = "x", .create_time = t},
+                false)
+        .status()
+        .expect_ok();
+  }
+  EXPECT_EQ(broker.offset_for_time({"t", 0}, 0).value(), 0);
+  EXPECT_EQ(broker.offset_for_time({"t", 0}, 100).value(), 0);
+  EXPECT_EQ(broker.offset_for_time({"t", 0}, 150).value(), 1);
+  EXPECT_EQ(broker.offset_for_time({"t", 0}, 200).value(), 1);
+  EXPECT_EQ(broker.offset_for_time({"t", 0}, 201).value(), 3);
+  EXPECT_EQ(broker.offset_for_time({"t", 0}, 500).value(), 4);
+  EXPECT_EQ(broker.offset_for_time({"t", 0}, 501).value(), 5);  // end
+}
+
+TEST(BrokerTest, OffsetForTimeOnEmptyPartitionIsZero) {
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  EXPECT_EQ(broker.offset_for_time({"t", 0}, 12345).value(), 0);
+}
+
+// --- replication --------------------------------------------------------------
+
+TEST(BrokerTest, ReplicationFactorBookkept) {
+  Broker broker;
+  broker
+      .create_topic("t", TopicConfig{.partitions = 2,
+                                     .replication_factor = 3})
+      .expect_ok();
+  EXPECT_EQ(broker.describe_topic("t").value().config.replication_factor, 3);
+  // acks=all appends land on all replicas; leader reads still work.
+  broker.append({"t", 0}, ProducerRecord{.value = "v"}, true)
+      .status()
+      .expect_ok();
+  EXPECT_EQ(broker.end_offset({"t", 0}).value(), 1);
+}
+
+// --- producer -------------------------------------------------------------------
+
+TEST(ProducerTest, BatchingFlushesAtBatchSize) {
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  Producer producer(broker, ProducerConfig{.batch_size = 5, .linger_us = 0});
+  for (int i = 0; i < 4; ++i) {
+    producer.send("t", 0, ProducerRecord{.value = "v"}).expect_ok();
+  }
+  EXPECT_EQ(broker.end_offset({"t", 0}).value(), 0);  // still buffered
+  producer.send("t", 0, ProducerRecord{.value = "v"}).expect_ok();
+  EXPECT_EQ(broker.end_offset({"t", 0}).value(), 5);  // flushed
+}
+
+TEST(ProducerTest, FlushDrainsBuffer) {
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  Producer producer(broker,
+                    ProducerConfig{.batch_size = 100, .linger_us = 0});
+  producer.send("t", 0, ProducerRecord{.value = "v"}).expect_ok();
+  producer.flush().expect_ok();
+  EXPECT_EQ(broker.end_offset({"t", 0}).value(), 1);
+}
+
+TEST(ProducerTest, CloseFlushesAndRejectsFurtherSends) {
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  Producer producer(broker, ProducerConfig{.batch_size = 100});
+  producer.send("t", 0, ProducerRecord{.value = "v"}).expect_ok();
+  producer.close().expect_ok();
+  EXPECT_EQ(broker.end_offset({"t", 0}).value(), 1);
+  EXPECT_EQ(producer.send("t", 0, ProducerRecord{.value = "v"}).code(),
+            StatusCode::kClosed);
+}
+
+TEST(ProducerTest, LingerForcesEarlyFlush) {
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  Producer producer(broker,
+                    ProducerConfig{.batch_size = 1000, .linger_us = 1000});
+  producer.send("t", 0, ProducerRecord{.value = "first"}).expect_ok();
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  producer.send("t", 0, ProducerRecord{.value = "second"}).expect_ok();
+  // The second send observed the 1ms linger expiry and flushed both.
+  EXPECT_EQ(broker.end_offset({"t", 0}).value(), 2);
+}
+
+TEST(ProducerTest, KeyHashPartitioning) {
+  Broker broker;
+  broker.create_topic("t", TopicConfig{.partitions = 4}).expect_ok();
+  Producer producer(broker, ProducerConfig{.batch_size = 1, .linger_us = 0});
+  for (int i = 0; i < 100; ++i) {
+    producer.send("t", "key-" + std::to_string(i), "v").expect_ok();
+  }
+  producer.close().expect_ok();
+  std::int64_t total = 0;
+  for (int p = 0; p < 4; ++p) {
+    const auto end = broker.end_offset({"t", p}).value();
+    EXPECT_GT(end, 0);  // hash spread reached every partition
+    total += end;
+  }
+  EXPECT_EQ(total, 100);
+}
+
+TEST(ProducerTest, SameKeyAlwaysSamePartition) {
+  Broker broker;
+  broker.create_topic("t", TopicConfig{.partitions = 8}).expect_ok();
+  Producer producer(broker, ProducerConfig{.batch_size = 1, .linger_us = 0});
+  for (int i = 0; i < 20; ++i) producer.send("t", "stable", "v").expect_ok();
+  producer.close().expect_ok();
+  int non_empty = 0;
+  for (int p = 0; p < 8; ++p) {
+    non_empty += broker.end_offset({"t", p}).value() > 0;
+  }
+  EXPECT_EQ(non_empty, 1);
+}
+
+TEST(ProducerTest, UnknownTopicSendFails) {
+  Broker broker;
+  Producer producer(broker, ProducerConfig{.batch_size = 1});
+  EXPECT_FALSE(producer.send("missing", 0, ProducerRecord{}).is_ok());
+}
+
+TEST(ProducerTest, SimulatedRttSlowsPerRecordSyncSends) {
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  broker.set_rtt_us(200);
+  Producer per_record(broker,
+                      ProducerConfig{.batch_size = 1, .linger_us = 0});
+  Stopwatch watch;
+  for (int i = 0; i < 50; ++i) {
+    per_record.send("t", 0, ProducerRecord{.value = "v"}).expect_ok();
+  }
+  const double per_record_ms = watch.elapsed_ms();
+  EXPECT_GE(per_record_ms, 9.0);  // 50 flushes x 200us
+
+  Producer batched(broker,
+                   ProducerConfig{.batch_size = 50, .linger_us = 0});
+  watch.reset();
+  for (int i = 0; i < 50; ++i) {
+    batched.send("t", 0, ProducerRecord{.value = "v"}).expect_ok();
+  }
+  batched.flush().expect_ok();
+  const double batched_ms = watch.elapsed_ms();
+  EXPECT_LT(batched_ms, per_record_ms / 4.0);  // batching amortizes the RTT
+}
+
+TEST(ProducerTest, AcksNoneSkipsRttWait) {
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  broker.set_rtt_us(500);
+  Producer producer(broker, ProducerConfig{.acks = Acks::kNone,
+                                           .batch_size = 1,
+                                           .linger_us = 0});
+  Stopwatch watch;
+  for (int i = 0; i < 20; ++i) {
+    producer.send("t", 0, ProducerRecord{.value = "v"}).expect_ok();
+  }
+  EXPECT_LT(watch.elapsed_ms(), 5.0);  // fire-and-forget pays no RTT
+  EXPECT_EQ(broker.end_offset({"t", 0}).value(), 20);
+}
+
+// --- consumer -------------------------------------------------------------------
+
+TEST(ConsumerTest, SubscribeAndPollAll) {
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  for (int i = 0; i < 25; ++i) {
+    broker.append({"t", 0}, ProducerRecord{.value = std::to_string(i)}, false)
+        .status()
+        .expect_ok();
+  }
+  Consumer consumer(broker, ConsumerConfig{.max_poll_records = 10});
+  consumer.subscribe("t").expect_ok();
+  std::vector<std::string> seen;
+  while (!consumer.at_end()) {
+    for (const auto& record : consumer.poll(0)) seen.push_back(record.value);
+  }
+  ASSERT_EQ(seen.size(), 25u);
+  for (int i = 0; i < 25; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], std::to_string(i));
+}
+
+TEST(ConsumerTest, PollRespectsMaxPollRecords) {
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  for (int i = 0; i < 30; ++i) {
+    broker.append({"t", 0}, ProducerRecord{.value = "v"}, false)
+        .status()
+        .expect_ok();
+  }
+  Consumer consumer(broker, ConsumerConfig{.max_poll_records = 7});
+  consumer.subscribe("t").expect_ok();
+  EXPECT_EQ(consumer.poll(0).size(), 7u);
+}
+
+TEST(ConsumerTest, SeekRewinds) {
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  for (int i = 0; i < 5; ++i) {
+    broker.append({"t", 0}, ProducerRecord{.value = std::to_string(i)}, false)
+        .status()
+        .expect_ok();
+  }
+  Consumer consumer(broker);
+  consumer.subscribe("t").expect_ok();
+  (void)consumer.poll(0);
+  consumer.seek({"t", 0}, 2).expect_ok();
+  const auto records = consumer.poll(0);
+  ASSERT_FALSE(records.empty());
+  EXPECT_EQ(records[0].value, "2");
+}
+
+TEST(ConsumerTest, MultiPartitionRoundRobinReadsEverything) {
+  Broker broker;
+  broker.create_topic("t", TopicConfig{.partitions = 3}).expect_ok();
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < 10; ++i) {
+      broker.append({"t", p}, ProducerRecord{.value = "v"}, false)
+          .status()
+          .expect_ok();
+    }
+  }
+  Consumer consumer(broker, ConsumerConfig{.max_poll_records = 100});
+  consumer.subscribe("t").expect_ok();
+  std::size_t total = 0;
+  while (!consumer.at_end()) total += consumer.poll(0).size();
+  EXPECT_EQ(total, 30u);
+}
+
+TEST(ConsumerTest, GroupOffsetsResumeAfterRestart) {
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  for (int i = 0; i < 10; ++i) {
+    broker.append({"t", 0}, ProducerRecord{.value = std::to_string(i)}, false)
+        .status()
+        .expect_ok();
+  }
+  {
+    Consumer consumer(broker, ConsumerConfig{.group_id = "g",
+                                             .max_poll_records = 4});
+    consumer.subscribe("t").expect_ok();
+    EXPECT_EQ(consumer.poll(0).size(), 4u);
+    consumer.commit();
+  }
+  // "Restarted" consumer in the same group resumes at the commit.
+  Consumer resumed(broker, ConsumerConfig{.group_id = "g",
+                                          .max_poll_records = 100});
+  resumed.subscribe("t").expect_ok();
+  const auto records = resumed.poll(0);
+  ASSERT_EQ(records.size(), 6u);
+  EXPECT_EQ(records[0].value, "4");
+}
+
+TEST(ConsumerTest, NoGroupStartsAtZero) {
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  broker.append({"t", 0}, ProducerRecord{.value = "a"}, false)
+      .status()
+      .expect_ok();
+  Consumer consumer(broker);
+  consumer.subscribe("t").expect_ok();
+  EXPECT_EQ(consumer.poll(0)[0].value, "a");
+}
+
+TEST(ConsumerTest, CommittedOffsetQueries) {
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  EXPECT_EQ(broker.committed_offset("g", {"t", 0}), -1);
+  broker.commit_offset("g", {"t", 0}, 17);
+  EXPECT_EQ(broker.committed_offset("g", {"t", 0}), 17);
+  EXPECT_EQ(broker.committed_offset("other", {"t", 0}), -1);
+}
+
+TEST(ConsumerTest, SubscribeUnknownTopicFails) {
+  Broker broker;
+  Consumer consumer(broker);
+  EXPECT_EQ(consumer.subscribe("missing").code(), StatusCode::kNotFound);
+}
+
+// --- producer/consumer integration ------------------------------------------------
+
+TEST(KafkaIntegrationTest, ProducerToConsumerEndToEnd) {
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  Producer producer(broker, ProducerConfig{.batch_size = 16, .linger_us = 0});
+  for (int i = 0; i < 1000; ++i) {
+    producer.send("t", 0, ProducerRecord{.value = std::to_string(i)})
+        .expect_ok();
+  }
+  producer.close().expect_ok();
+
+  Consumer consumer(broker, ConsumerConfig{.max_poll_records = 128});
+  consumer.subscribe("t").expect_ok();
+  int expected = 0;
+  while (!consumer.at_end()) {
+    for (const auto& record : consumer.poll(0)) {
+      EXPECT_EQ(record.value, std::to_string(expected++));
+    }
+  }
+  EXPECT_EQ(expected, 1000);
+}
+
+}  // namespace
+}  // namespace dsps::kafka

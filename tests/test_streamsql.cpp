@@ -1,0 +1,196 @@
+// Tests for the StreamSQL extension: parser, canonical rendering, and
+// compiled-pipeline execution across runners.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "beam/runners/direct_runner.hpp"
+#include "beam/runners/flink_runner.hpp"
+#include "beam/runners/spark_runner.hpp"
+#include "beam/streamsql.hpp"
+#include "workload/aol_generator.hpp"
+#include "workload/streambench.hpp"
+#include "workload/data_sender.hpp"
+
+namespace dsps::beam::sql {
+namespace {
+
+// --- parser ---------------------------------------------------------------------
+
+TEST(StreamSqlParserTest, SelectStarFromTopic) {
+  auto query = parse("SELECT * FROM input");
+  ASSERT_TRUE(query.is_ok()) << query.status().to_string();
+  EXPECT_EQ(query.value().from_topic, "input");
+  EXPECT_FALSE(query.value().project_column.has_value());
+  EXPECT_FALSE(query.value().contains_needle.has_value());
+  EXPECT_TRUE(query.value().into_topic.empty());
+}
+
+TEST(StreamSqlParserTest, FullQueryAllClauses) {
+  auto query = parse(
+      "select column(2) from logs where not contains('spam') "
+      "sample 25% into cleaned;");
+  ASSERT_TRUE(query.is_ok()) << query.status().to_string();
+  EXPECT_EQ(query.value().project_column, 2);
+  EXPECT_EQ(query.value().from_topic, "logs");
+  EXPECT_EQ(query.value().contains_needle, "spam");
+  EXPECT_TRUE(query.value().negate_contains);
+  EXPECT_DOUBLE_EQ(*query.value().sample_fraction, 0.25);
+  EXPECT_EQ(query.value().into_topic, "cleaned");
+}
+
+TEST(StreamSqlParserTest, KeywordsAreCaseInsensitive) {
+  EXPECT_TRUE(parse("SeLeCt * FrOm t WhErE cOnTaInS('x')").is_ok());
+}
+
+TEST(StreamSqlParserTest, RoundTripsThroughToSql) {
+  const char* queries[] = {
+      "SELECT * FROM input",
+      "SELECT COLUMN(0) FROM input",
+      "SELECT * FROM input WHERE CONTAINS('test')",
+      "SELECT * FROM input WHERE NOT CONTAINS('x') SAMPLE 40% INTO out",
+  };
+  for (const char* text : queries) {
+    auto first = parse(text);
+    ASSERT_TRUE(first.is_ok()) << text;
+    auto second = parse(to_sql(first.value()));
+    ASSERT_TRUE(second.is_ok()) << to_sql(first.value());
+    EXPECT_EQ(to_sql(first.value()), to_sql(second.value()));
+  }
+}
+
+struct BadQueryCase {
+  const char* text;
+  const char* name;
+};
+
+class StreamSqlBadQueryTest : public ::testing::TestWithParam<BadQueryCase> {
+};
+
+TEST_P(StreamSqlBadQueryTest, RejectedWithInvalidArgument) {
+  auto query = parse(GetParam().text);
+  EXPECT_EQ(query.status().code(), StatusCode::kInvalidArgument)
+      << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadQueries, StreamSqlBadQueryTest,
+    ::testing::Values(
+        BadQueryCase{"FROM input", "missing_select"},
+        BadQueryCase{"SELECT FROM input", "missing_projection"},
+        BadQueryCase{"SELECT * FROM", "missing_topic"},
+        BadQueryCase{"SELECT * FROM input WHERE", "dangling_where"},
+        BadQueryCase{"SELECT * FROM input WHERE CONTAINS(test)",
+                     "unquoted_needle"},
+        BadQueryCase{"SELECT * FROM input WHERE CONTAINS('x",
+                     "unterminated_string"},
+        BadQueryCase{"SELECT * FROM input SAMPLE 150%", "bad_percentage"},
+        BadQueryCase{"SELECT * FROM input SAMPLE 0%", "zero_percentage"},
+        BadQueryCase{"SELECT COLUMN(a) FROM input", "non_numeric_column"},
+        BadQueryCase{"SELECT * FROM input GARBAGE", "trailing_garbage"},
+        BadQueryCase{"SELECT * FROM input WHERE CONTAINS('a') "
+                     "WHERE CONTAINS('b')",
+                     "duplicate_where"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+// --- compile + run ------------------------------------------------------------------
+
+class StreamSqlRunTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::create_benchmark_topic(broker_, "input").expect_ok();
+    workload::create_benchmark_topic(broker_, "output").expect_ok();
+    workload::AolGenerator generator({.record_count = 1000, .seed = 42});
+    lines_ = generator.all_lines();
+    workload::DataSender sender(broker_,
+                                workload::DataSenderConfig{.topic = "input"});
+    sender.send_lines(lines_).status().expect_ok();
+  }
+
+  std::vector<std::string> run(const std::string& text) {
+    Pipeline pipeline;
+    compile(text, broker_, pipeline).expect_ok();
+    DirectRunner runner;
+    pipeline.run(runner).status().expect_ok();
+    std::vector<kafka::StoredRecord> stored;
+    broker_.fetch({"output", 0}, 0, 10000, stored).status().expect_ok();
+    std::vector<std::string> values;
+    for (auto& record : stored) values.push_back(std::move(record.value));
+    return values;
+  }
+
+  kafka::Broker broker_;
+  std::vector<std::string> lines_;
+};
+
+TEST_F(StreamSqlRunTest, SelectStarIsIdentity) {
+  EXPECT_EQ(run("SELECT * FROM input INTO output"), lines_);
+}
+
+TEST_F(StreamSqlRunTest, WhereContainsIsGrep) {
+  const auto out = run("SELECT * FROM input WHERE CONTAINS('test')");
+  std::vector<std::string> expected;
+  for (const auto& line : lines_) {
+    if (line.find("test") != std::string::npos) expected.push_back(line);
+  }
+  EXPECT_EQ(out, expected);
+}
+
+TEST_F(StreamSqlRunTest, NotContainsIsComplement) {
+  const auto kept = run("SELECT * FROM input WHERE NOT CONTAINS('test')");
+  const auto matches = std::count_if(
+      lines_.begin(), lines_.end(), [](const std::string& line) {
+        return line.find("test") != std::string::npos;
+      });
+  EXPECT_EQ(kept.size(), lines_.size() - static_cast<std::size_t>(matches));
+}
+
+TEST_F(StreamSqlRunTest, ColumnProjection) {
+  const auto out = run("SELECT COLUMN(0) FROM input");
+  ASSERT_EQ(out.size(), lines_.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], workload::projection_of(lines_[i]));
+  }
+}
+
+TEST_F(StreamSqlRunTest, OutOfRangeColumnYieldsEmpty) {
+  const auto out = run("SELECT COLUMN(99) FROM input");
+  ASSERT_EQ(out.size(), lines_.size());
+  for (const auto& value : out) EXPECT_TRUE(value.empty());
+}
+
+TEST_F(StreamSqlRunTest, SampleKeepsApproximateFraction) {
+  const auto out = run("SELECT * FROM input SAMPLE 40%");
+  EXPECT_GT(out.size(), 300u);
+  EXPECT_LT(out.size(), 500u);
+}
+
+TEST_F(StreamSqlRunTest, MissingTopicsReported) {
+  Pipeline pipeline;
+  EXPECT_EQ(
+      compile("SELECT * FROM nonexistent", broker_, pipeline).code(),
+      StatusCode::kNotFound);
+  EXPECT_EQ(compile("SELECT * FROM input INTO nonexistent", broker_,
+                    pipeline)
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(StreamSqlRunTest, CompiledPipelineIsRunnerPortable) {
+  // The same SQL runs on an engine runner, not just the direct runner.
+  Pipeline pipeline;
+  compile("SELECT * FROM input WHERE CONTAINS('test')", broker_, pipeline)
+      .expect_ok();
+  FlinkRunner runner(FlinkRunnerOptions{.parallelism = 2});
+  ASSERT_TRUE(pipeline.run(runner).is_ok());
+  std::vector<kafka::StoredRecord> stored;
+  broker_.fetch({"output", 0}, 0, 10000, stored).status().expect_ok();
+  const auto matches = std::count_if(
+      lines_.begin(), lines_.end(), [](const std::string& line) {
+        return line.find("test") != std::string::npos;
+      });
+  EXPECT_EQ(stored.size(), static_cast<std::size_t>(matches));
+}
+
+}  // namespace
+}  // namespace dsps::beam::sql

@@ -1,0 +1,204 @@
+// Tests for the workload module: the AOL-like generator's schema and
+// selectivities, the data sender, and the StreamBench query logic.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/strings.hpp"
+#include "workload/aol_generator.hpp"
+#include "workload/data_sender.hpp"
+#include "workload/streambench.hpp"
+
+namespace dsps::workload {
+namespace {
+
+TEST(AolGeneratorTest, RecordHasFiveTabSeparatedColumns) {
+  AolGenerator generator({.record_count = 100, .seed = 1});
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const auto fields = split(generator.record_at(i).to_line(), '\t');
+    ASSERT_EQ(fields.size(), 5u) << "record " << i;
+    EXPECT_FALSE(fields[0].empty());  // user id
+    EXPECT_FALSE(fields[1].empty());  // query
+    EXPECT_FALSE(fields[2].empty());  // timestamp
+  }
+}
+
+TEST(AolGeneratorTest, DeterministicInSeed) {
+  AolGenerator a({.record_count = 50, .seed = 7});
+  AolGenerator b({.record_count = 50, .seed = 7});
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.record_at(i).to_line(), b.record_at(i).to_line());
+  }
+}
+
+TEST(AolGeneratorTest, DifferentSeedsProduceDifferentData) {
+  AolGenerator a({.record_count = 50, .seed = 1});
+  AolGenerator b({.record_count = 50, .seed = 2});
+  int same = 0;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    same += a.record_at(i).to_line() == b.record_at(i).to_line();
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(AolGeneratorTest, RecordAccessIsOrderIndependent) {
+  AolGenerator generator({.record_count = 100, .seed = 3});
+  const auto forward = generator.record_at(10).to_line();
+  (void)generator.record_at(99);
+  (void)generator.record_at(0);
+  EXPECT_EQ(generator.record_at(10).to_line(), forward);
+}
+
+TEST(AolGeneratorTest, GrepSelectivityMatchesPaperAtFullScale) {
+  // The paper: 3,003 matches out of 1,000,001 records (~0.3003%).
+  AolGenerator generator({.record_count = 1'000'001, .seed = 42});
+  const double ratio = static_cast<double>(generator.grep_match_count()) /
+                       1'000'001.0;
+  EXPECT_NEAR(ratio, 3003.0 / 1'000'001.0, 0.0003);
+}
+
+TEST(AolGeneratorTest, GrepMatchCountFormulaAgreesWithEnumeration) {
+  AolGenerator generator({.record_count = 5000, .seed = 42});
+  std::uint64_t enumerated = 0;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    enumerated += generator.is_grep_match(i);
+  }
+  EXPECT_EQ(enumerated, generator.grep_match_count());
+}
+
+TEST(AolGeneratorTest, NeedleAppearsExactlyInMatchingRecords) {
+  AolGenerator generator({.record_count = 2000, .seed = 42});
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    const std::string line = generator.record_at(i).to_line();
+    EXPECT_EQ(contains(line, "test"), generator.is_grep_match(i))
+        << "record " << i << ": " << line;
+  }
+}
+
+TEST(AolGeneratorTest, LineParsingRoundTrips) {
+  AolGenerator generator({.record_count = 20, .seed = 9});
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const AolRecord record = generator.record_at(i);
+    const AolRecord parsed = AolRecord::from_line(record.to_line());
+    EXPECT_EQ(parsed.user_id, record.user_id);
+    EXPECT_EQ(parsed.query, record.query);
+    EXPECT_EQ(parsed.query_time, record.query_time);
+    EXPECT_EQ(parsed.item_rank, record.item_rank);
+    EXPECT_EQ(parsed.click_url, record.click_url);
+  }
+}
+
+TEST(AolGeneratorTest, AboutHalfTheRecordsHaveClicks) {
+  AolGenerator generator({.record_count = 4000, .seed = 5});
+  int clicks = 0;
+  for (std::uint64_t i = 0; i < 4000; ++i) {
+    const AolRecord record = generator.record_at(i);
+    EXPECT_EQ(record.item_rank.empty(), record.click_url.empty());
+    clicks += !record.item_rank.empty();
+  }
+  EXPECT_NEAR(clicks / 4000.0, 0.5, 0.05);
+}
+
+TEST(AolGeneratorTest, RejectsBadConfig) {
+  EXPECT_THROW(AolGenerator({.record_count = 0}), std::invalid_argument);
+  EXPECT_THROW(AolGenerator({.record_count = 10, .grep_needle_fraction = 0}),
+               std::invalid_argument);
+}
+
+// --- data sender --------------------------------------------------------------
+
+TEST(DataSenderTest, SendsAllRecordsInOrder) {
+  kafka::Broker broker;
+  create_benchmark_topic(broker, "in").expect_ok();
+  AolGenerator generator({.record_count = 500, .seed = 42});
+  DataSender sender(broker, DataSenderConfig{.topic = "in"});
+  auto report = sender.send_generated(generator);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report.value().records_sent, 500u);
+  EXPECT_EQ(broker.end_offset({"in", 0}).value(), 500);
+
+  std::vector<kafka::StoredRecord> stored;
+  broker.fetch({"in", 0}, 0, 1000, stored).status().expect_ok();
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(stored[i].value, generator.record_at(i).to_line());
+  }
+}
+
+TEST(DataSenderTest, BenchmarkTopicHasPaperSettings) {
+  kafka::Broker broker;
+  create_benchmark_topic(broker, "in").expect_ok();
+  const auto metadata = broker.describe_topic("in");
+  ASSERT_TRUE(metadata.is_ok());
+  // §III-A2: one partition, replication factor one (ordering guarantee).
+  EXPECT_EQ(metadata.value().config.partitions, 1);
+  EXPECT_EQ(metadata.value().config.replication_factor, 1);
+  EXPECT_EQ(metadata.value().config.timestamp_type,
+            kafka::TimestampType::kLogAppendTime);
+}
+
+TEST(DataSenderTest, RateLimitSlowsIngestion) {
+  kafka::Broker broker;
+  create_benchmark_topic(broker, "in").expect_ok();
+  DataSender sender(broker, DataSenderConfig{.topic = "in",
+                                             .ingestion_rate = 10'000});
+  std::vector<std::string> lines(200, "line");
+  auto report = sender.send_lines(lines);
+  ASSERT_TRUE(report.is_ok());
+  // 200 records at 10k/s should take ~20ms.
+  EXPECT_GE(report.value().duration_ms, 15.0);
+}
+
+TEST(DataSenderTest, MissingTopicFails) {
+  kafka::Broker broker;
+  DataSender sender(broker, DataSenderConfig{.topic = "missing"});
+  EXPECT_FALSE(sender.send_lines({"x"}).is_ok());
+}
+
+// --- query logic ----------------------------------------------------------------
+
+TEST(StreamBenchTest, FourQueriesDefined) {
+  EXPECT_EQ(all_queries().size(), 4u);
+  EXPECT_EQ(query_info(QueryId::kIdentity).name, "Identity");
+  EXPECT_EQ(query_info(QueryId::kSample).name, "Sample");
+  EXPECT_EQ(query_info(QueryId::kProjection).name, "Projection");
+  EXPECT_EQ(query_info(QueryId::kGrep).name, "Grep");
+}
+
+TEST(StreamBenchTest, IdentityIsIdentity) {
+  EXPECT_EQ(identity_of("a\tb\tc"), "a\tb\tc");
+}
+
+TEST(StreamBenchTest, ProjectionTakesFirstColumn) {
+  EXPECT_EQ(projection_of("user\tquery\ttime\t\t"), "user");
+  EXPECT_EQ(projection_of("no-tabs-here"), "no-tabs-here");
+  EXPECT_EQ(projection_of("\tleading"), "");
+}
+
+TEST(StreamBenchTest, GrepMatchesNeedle) {
+  EXPECT_TRUE(grep_matches("1\tsearch test query\t2006"));
+  EXPECT_TRUE(grep_matches("testify"));  // substring semantics
+  EXPECT_FALSE(grep_matches("1\tsearch query\t2006"));
+}
+
+TEST(StreamBenchTest, SampleKeepsRoughlyFortyPercent) {
+  SampleDecider decider(42);
+  int kept = 0;
+  constexpr int kTrials = 100'000;
+  for (int i = 0; i < kTrials; ++i) kept += decider.keep();
+  EXPECT_NEAR(static_cast<double>(kept) / kTrials, kSampleFraction, 0.01);
+}
+
+TEST(StreamBenchTest, SampleDeciderDeterministic) {
+  SampleDecider a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.keep(), b.keep());
+}
+
+TEST(StreamBenchTest, ThreadLocalSamplerStatisticallyCorrect) {
+  int kept = 0;
+  constexpr int kTrials = 100'000;
+  for (int i = 0; i < kTrials; ++i) kept += sample_keep_threadlocal(42);
+  EXPECT_NEAR(static_cast<double>(kept) / kTrials, kSampleFraction, 0.01);
+}
+
+}  // namespace
+}  // namespace dsps::workload
