@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bundle_sweep.dir/ext_bundle_sweep.cpp.o"
+  "CMakeFiles/ext_bundle_sweep.dir/ext_bundle_sweep.cpp.o.d"
+  "ext_bundle_sweep"
+  "ext_bundle_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bundle_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_nexmark.dir/ext_nexmark.cpp.o"
+  "CMakeFiles/ext_nexmark.dir/ext_nexmark.cpp.o.d"
+  "ext_nexmark"
+  "ext_nexmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_nexmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_rtt_sweep.dir/ext_rtt_sweep.cpp.o"
+  "CMakeFiles/ext_rtt_sweep.dir/ext_rtt_sweep.cpp.o.d"
+  "ext_rtt_sweep"
+  "ext_rtt_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_rtt_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

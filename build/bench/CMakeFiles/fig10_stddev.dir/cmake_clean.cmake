@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_stddev.dir/fig10_stddev.cpp.o"
+  "CMakeFiles/fig10_stddev.dir/fig10_stddev.cpp.o.d"
+  "fig10_stddev"
+  "fig10_stddev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_stddev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

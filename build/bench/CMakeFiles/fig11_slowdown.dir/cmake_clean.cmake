@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_slowdown.dir/fig11_slowdown.cpp.o"
+  "CMakeFiles/fig11_slowdown.dir/fig11_slowdown.cpp.o.d"
+  "fig11_slowdown"
+  "fig11_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

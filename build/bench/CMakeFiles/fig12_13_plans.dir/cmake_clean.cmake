@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_13_plans.dir/fig12_13_plans.cpp.o"
+  "CMakeFiles/fig12_13_plans.dir/fig12_13_plans.cpp.o.d"
+  "fig12_13_plans"
+  "fig12_13_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_13_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_identity.dir/fig6_identity.cpp.o"
+  "CMakeFiles/fig6_identity.dir/fig6_identity.cpp.o.d"
+  "fig6_identity"
+  "fig6_identity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_identity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_sample.dir/fig7_sample.cpp.o"
+  "CMakeFiles/fig7_sample.dir/fig7_sample.cpp.o.d"
+  "fig7_sample"
+  "fig7_sample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

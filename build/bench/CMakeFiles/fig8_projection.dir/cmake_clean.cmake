@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_projection.dir/fig8_projection.cpp.o"
+  "CMakeFiles/fig8_projection.dir/fig8_projection.cpp.o.d"
+  "fig8_projection"
+  "fig8_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

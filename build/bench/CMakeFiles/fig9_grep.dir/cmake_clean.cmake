@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_grep.dir/fig9_grep.cpp.o"
+  "CMakeFiles/fig9_grep.dir/fig9_grep.cpp.o.d"
+  "fig9_grep"
+  "fig9_grep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_grep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_kafka.dir/micro_kafka.cpp.o"
+  "CMakeFiles/micro_kafka.dir/micro_kafka.cpp.o.d"
+  "micro_kafka"
+  "micro_kafka.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_kafka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_queries.dir/table2_queries.cpp.o"
+  "CMakeFiles/table2_queries.dir/table2_queries.cpp.o.d"
+  "table2_queries"
+  "table2_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_flink_runs.dir/table3_flink_runs.cpp.o"
+  "CMakeFiles/table3_flink_runs.dir/table3_flink_runs.cpp.o.d"
+  "table3_flink_runs"
+  "table3_flink_runs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_flink_runs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

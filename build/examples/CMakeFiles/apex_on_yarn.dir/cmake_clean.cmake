@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apex_on_yarn.dir/apex_on_yarn.cpp.o"
+  "CMakeFiles/apex_on_yarn.dir/apex_on_yarn.cpp.o.d"
+  "apex_on_yarn"
+  "apex_on_yarn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apex_on_yarn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

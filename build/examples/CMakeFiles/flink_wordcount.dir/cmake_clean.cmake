@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flink_wordcount.dir/flink_wordcount.cpp.o"
+  "CMakeFiles/flink_wordcount.dir/flink_wordcount.cpp.o.d"
+  "flink_wordcount"
+  "flink_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flink_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portable_grep.dir/portable_grep.cpp.o"
+  "CMakeFiles/portable_grep.dir/portable_grep.cpp.o.d"
+  "portable_grep"
+  "portable_grep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portable_grep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_setup.dir/run_setup.cpp.o"
+  "CMakeFiles/run_setup.dir/run_setup.cpp.o.d"
+  "run_setup"
+  "run_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

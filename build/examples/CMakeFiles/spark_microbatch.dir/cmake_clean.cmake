@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spark_microbatch.dir/spark_microbatch.cpp.o"
+  "CMakeFiles/spark_microbatch.dir/spark_microbatch.cpp.o.d"
+  "spark_microbatch"
+  "spark_microbatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spark_microbatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

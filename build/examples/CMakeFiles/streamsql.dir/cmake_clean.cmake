@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamsql.dir/streamsql.cpp.o"
+  "CMakeFiles/streamsql.dir/streamsql.cpp.o.d"
+  "streamsql"
+  "streamsql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamsql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

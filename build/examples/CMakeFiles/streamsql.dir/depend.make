@@ -1,0 +1,2 @@
+# Empty dependencies file for streamsql.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_portable_grep "/root/repo/build/examples/portable_grep")
+set_tests_properties(example_portable_grep PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_flink_wordcount "/root/repo/build/examples/flink_wordcount")
+set_tests_properties(example_flink_wordcount PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_apex_on_yarn "/root/repo/build/examples/apex_on_yarn")
+set_tests_properties(example_apex_on_yarn PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_spark_microbatch "/root/repo/build/examples/spark_microbatch")
+set_tests_properties(example_spark_microbatch PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_streamsql "/root/repo/build/examples/streamsql")
+set_tests_properties(example_streamsql PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_run_setup "/root/repo/build/examples/run_setup" "flink" "beam" "grep" "2" "2000" "1")
+set_tests_properties(example_run_setup PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apex/dag.cpp" "src/apex/CMakeFiles/dsps_apex.dir/dag.cpp.o" "gcc" "src/apex/CMakeFiles/dsps_apex.dir/dag.cpp.o.d"
+  "/root/repo/src/apex/engine.cpp" "src/apex/CMakeFiles/dsps_apex.dir/engine.cpp.o" "gcc" "src/apex/CMakeFiles/dsps_apex.dir/engine.cpp.o.d"
+  "/root/repo/src/apex/operators_library.cpp" "src/apex/CMakeFiles/dsps_apex.dir/operators_library.cpp.o" "gcc" "src/apex/CMakeFiles/dsps_apex.dir/operators_library.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dsps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kafka/CMakeFiles/dsps_kafka.dir/DependInfo.cmake"
+  "/root/repo/build/src/yarn/CMakeFiles/dsps_yarn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

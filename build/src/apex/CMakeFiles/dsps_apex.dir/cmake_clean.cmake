@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsps_apex.dir/dag.cpp.o"
+  "CMakeFiles/dsps_apex.dir/dag.cpp.o.d"
+  "CMakeFiles/dsps_apex.dir/engine.cpp.o"
+  "CMakeFiles/dsps_apex.dir/engine.cpp.o.d"
+  "CMakeFiles/dsps_apex.dir/operators_library.cpp.o"
+  "CMakeFiles/dsps_apex.dir/operators_library.cpp.o.d"
+  "libdsps_apex.a"
+  "libdsps_apex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsps_apex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

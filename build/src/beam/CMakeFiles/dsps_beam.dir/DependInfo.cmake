@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/beam/kafka_io.cpp" "src/beam/CMakeFiles/dsps_beam.dir/kafka_io.cpp.o" "gcc" "src/beam/CMakeFiles/dsps_beam.dir/kafka_io.cpp.o.d"
+  "/root/repo/src/beam/runners/apex_runner.cpp" "src/beam/CMakeFiles/dsps_beam.dir/runners/apex_runner.cpp.o" "gcc" "src/beam/CMakeFiles/dsps_beam.dir/runners/apex_runner.cpp.o.d"
+  "/root/repo/src/beam/runners/direct_runner.cpp" "src/beam/CMakeFiles/dsps_beam.dir/runners/direct_runner.cpp.o" "gcc" "src/beam/CMakeFiles/dsps_beam.dir/runners/direct_runner.cpp.o.d"
+  "/root/repo/src/beam/runners/flink_runner.cpp" "src/beam/CMakeFiles/dsps_beam.dir/runners/flink_runner.cpp.o" "gcc" "src/beam/CMakeFiles/dsps_beam.dir/runners/flink_runner.cpp.o.d"
+  "/root/repo/src/beam/runners/spark_runner.cpp" "src/beam/CMakeFiles/dsps_beam.dir/runners/spark_runner.cpp.o" "gcc" "src/beam/CMakeFiles/dsps_beam.dir/runners/spark_runner.cpp.o.d"
+  "/root/repo/src/beam/streamsql.cpp" "src/beam/CMakeFiles/dsps_beam.dir/streamsql.cpp.o" "gcc" "src/beam/CMakeFiles/dsps_beam.dir/streamsql.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dsps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kafka/CMakeFiles/dsps_kafka.dir/DependInfo.cmake"
+  "/root/repo/build/src/flink/CMakeFiles/dsps_flink.dir/DependInfo.cmake"
+  "/root/repo/build/src/spark/CMakeFiles/dsps_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/apex/CMakeFiles/dsps_apex.dir/DependInfo.cmake"
+  "/root/repo/build/src/yarn/CMakeFiles/dsps_yarn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsps_beam.dir/kafka_io.cpp.o"
+  "CMakeFiles/dsps_beam.dir/kafka_io.cpp.o.d"
+  "CMakeFiles/dsps_beam.dir/runners/apex_runner.cpp.o"
+  "CMakeFiles/dsps_beam.dir/runners/apex_runner.cpp.o.d"
+  "CMakeFiles/dsps_beam.dir/runners/direct_runner.cpp.o"
+  "CMakeFiles/dsps_beam.dir/runners/direct_runner.cpp.o.d"
+  "CMakeFiles/dsps_beam.dir/runners/flink_runner.cpp.o"
+  "CMakeFiles/dsps_beam.dir/runners/flink_runner.cpp.o.d"
+  "CMakeFiles/dsps_beam.dir/runners/spark_runner.cpp.o"
+  "CMakeFiles/dsps_beam.dir/runners/spark_runner.cpp.o.d"
+  "CMakeFiles/dsps_beam.dir/streamsql.cpp.o"
+  "CMakeFiles/dsps_beam.dir/streamsql.cpp.o.d"
+  "libdsps_beam.a"
+  "libdsps_beam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsps_beam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

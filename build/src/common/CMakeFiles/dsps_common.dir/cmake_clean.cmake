@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsps_common.dir/bytes.cpp.o"
+  "CMakeFiles/dsps_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/dsps_common.dir/env.cpp.o"
+  "CMakeFiles/dsps_common.dir/env.cpp.o.d"
+  "CMakeFiles/dsps_common.dir/noise.cpp.o"
+  "CMakeFiles/dsps_common.dir/noise.cpp.o.d"
+  "CMakeFiles/dsps_common.dir/stats.cpp.o"
+  "CMakeFiles/dsps_common.dir/stats.cpp.o.d"
+  "CMakeFiles/dsps_common.dir/strings.cpp.o"
+  "CMakeFiles/dsps_common.dir/strings.cpp.o.d"
+  "CMakeFiles/dsps_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/dsps_common.dir/thread_pool.cpp.o.d"
+  "libdsps_common.a"
+  "libdsps_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsps_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flink/environment.cpp" "src/flink/CMakeFiles/dsps_flink.dir/environment.cpp.o" "gcc" "src/flink/CMakeFiles/dsps_flink.dir/environment.cpp.o.d"
+  "/root/repo/src/flink/graph.cpp" "src/flink/CMakeFiles/dsps_flink.dir/graph.cpp.o" "gcc" "src/flink/CMakeFiles/dsps_flink.dir/graph.cpp.o.d"
+  "/root/repo/src/flink/kafka_connectors.cpp" "src/flink/CMakeFiles/dsps_flink.dir/kafka_connectors.cpp.o" "gcc" "src/flink/CMakeFiles/dsps_flink.dir/kafka_connectors.cpp.o.d"
+  "/root/repo/src/flink/runtime.cpp" "src/flink/CMakeFiles/dsps_flink.dir/runtime.cpp.o" "gcc" "src/flink/CMakeFiles/dsps_flink.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dsps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kafka/CMakeFiles/dsps_kafka.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

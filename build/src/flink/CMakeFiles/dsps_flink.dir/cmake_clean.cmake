@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsps_flink.dir/environment.cpp.o"
+  "CMakeFiles/dsps_flink.dir/environment.cpp.o.d"
+  "CMakeFiles/dsps_flink.dir/graph.cpp.o"
+  "CMakeFiles/dsps_flink.dir/graph.cpp.o.d"
+  "CMakeFiles/dsps_flink.dir/kafka_connectors.cpp.o"
+  "CMakeFiles/dsps_flink.dir/kafka_connectors.cpp.o.d"
+  "CMakeFiles/dsps_flink.dir/runtime.cpp.o"
+  "CMakeFiles/dsps_flink.dir/runtime.cpp.o.d"
+  "libdsps_flink.a"
+  "libdsps_flink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsps_flink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/benchmark.cpp" "src/harness/CMakeFiles/dsps_harness.dir/benchmark.cpp.o" "gcc" "src/harness/CMakeFiles/dsps_harness.dir/benchmark.cpp.o.d"
+  "/root/repo/src/harness/figures.cpp" "src/harness/CMakeFiles/dsps_harness.dir/figures.cpp.o" "gcc" "src/harness/CMakeFiles/dsps_harness.dir/figures.cpp.o.d"
+  "/root/repo/src/harness/paper_data.cpp" "src/harness/CMakeFiles/dsps_harness.dir/paper_data.cpp.o" "gcc" "src/harness/CMakeFiles/dsps_harness.dir/paper_data.cpp.o.d"
+  "/root/repo/src/harness/report.cpp" "src/harness/CMakeFiles/dsps_harness.dir/report.cpp.o" "gcc" "src/harness/CMakeFiles/dsps_harness.dir/report.cpp.o.d"
+  "/root/repo/src/harness/result_calculator.cpp" "src/harness/CMakeFiles/dsps_harness.dir/result_calculator.cpp.o" "gcc" "src/harness/CMakeFiles/dsps_harness.dir/result_calculator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dsps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kafka/CMakeFiles/dsps_kafka.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dsps_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/queries/CMakeFiles/dsps_queries.dir/DependInfo.cmake"
+  "/root/repo/build/src/beam/CMakeFiles/dsps_beam.dir/DependInfo.cmake"
+  "/root/repo/build/src/flink/CMakeFiles/dsps_flink.dir/DependInfo.cmake"
+  "/root/repo/build/src/spark/CMakeFiles/dsps_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/apex/CMakeFiles/dsps_apex.dir/DependInfo.cmake"
+  "/root/repo/build/src/yarn/CMakeFiles/dsps_yarn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

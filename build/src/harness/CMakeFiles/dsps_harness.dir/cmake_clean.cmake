@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsps_harness.dir/benchmark.cpp.o"
+  "CMakeFiles/dsps_harness.dir/benchmark.cpp.o.d"
+  "CMakeFiles/dsps_harness.dir/figures.cpp.o"
+  "CMakeFiles/dsps_harness.dir/figures.cpp.o.d"
+  "CMakeFiles/dsps_harness.dir/paper_data.cpp.o"
+  "CMakeFiles/dsps_harness.dir/paper_data.cpp.o.d"
+  "CMakeFiles/dsps_harness.dir/report.cpp.o"
+  "CMakeFiles/dsps_harness.dir/report.cpp.o.d"
+  "CMakeFiles/dsps_harness.dir/result_calculator.cpp.o"
+  "CMakeFiles/dsps_harness.dir/result_calculator.cpp.o.d"
+  "libdsps_harness.a"
+  "libdsps_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsps_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

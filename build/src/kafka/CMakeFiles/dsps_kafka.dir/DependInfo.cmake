@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kafka/broker.cpp" "src/kafka/CMakeFiles/dsps_kafka.dir/broker.cpp.o" "gcc" "src/kafka/CMakeFiles/dsps_kafka.dir/broker.cpp.o.d"
+  "/root/repo/src/kafka/consumer.cpp" "src/kafka/CMakeFiles/dsps_kafka.dir/consumer.cpp.o" "gcc" "src/kafka/CMakeFiles/dsps_kafka.dir/consumer.cpp.o.d"
+  "/root/repo/src/kafka/partition_log.cpp" "src/kafka/CMakeFiles/dsps_kafka.dir/partition_log.cpp.o" "gcc" "src/kafka/CMakeFiles/dsps_kafka.dir/partition_log.cpp.o.d"
+  "/root/repo/src/kafka/producer.cpp" "src/kafka/CMakeFiles/dsps_kafka.dir/producer.cpp.o" "gcc" "src/kafka/CMakeFiles/dsps_kafka.dir/producer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dsps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

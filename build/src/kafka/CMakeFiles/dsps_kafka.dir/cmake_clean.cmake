@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsps_kafka.dir/broker.cpp.o"
+  "CMakeFiles/dsps_kafka.dir/broker.cpp.o.d"
+  "CMakeFiles/dsps_kafka.dir/consumer.cpp.o"
+  "CMakeFiles/dsps_kafka.dir/consumer.cpp.o.d"
+  "CMakeFiles/dsps_kafka.dir/partition_log.cpp.o"
+  "CMakeFiles/dsps_kafka.dir/partition_log.cpp.o.d"
+  "CMakeFiles/dsps_kafka.dir/producer.cpp.o"
+  "CMakeFiles/dsps_kafka.dir/producer.cpp.o.d"
+  "libdsps_kafka.a"
+  "libdsps_kafka.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsps_kafka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

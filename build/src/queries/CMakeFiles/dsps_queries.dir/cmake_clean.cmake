@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsps_queries.dir/beam_queries.cpp.o"
+  "CMakeFiles/dsps_queries.dir/beam_queries.cpp.o.d"
+  "CMakeFiles/dsps_queries.dir/native_apex.cpp.o"
+  "CMakeFiles/dsps_queries.dir/native_apex.cpp.o.d"
+  "CMakeFiles/dsps_queries.dir/native_flink.cpp.o"
+  "CMakeFiles/dsps_queries.dir/native_flink.cpp.o.d"
+  "CMakeFiles/dsps_queries.dir/native_spark.cpp.o"
+  "CMakeFiles/dsps_queries.dir/native_spark.cpp.o.d"
+  "CMakeFiles/dsps_queries.dir/nexmark_queries.cpp.o"
+  "CMakeFiles/dsps_queries.dir/nexmark_queries.cpp.o.d"
+  "CMakeFiles/dsps_queries.dir/query_factory.cpp.o"
+  "CMakeFiles/dsps_queries.dir/query_factory.cpp.o.d"
+  "libdsps_queries.a"
+  "libdsps_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsps_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spark/spark_context.cpp" "src/spark/CMakeFiles/dsps_spark.dir/spark_context.cpp.o" "gcc" "src/spark/CMakeFiles/dsps_spark.dir/spark_context.cpp.o.d"
+  "/root/repo/src/spark/streaming_context.cpp" "src/spark/CMakeFiles/dsps_spark.dir/streaming_context.cpp.o" "gcc" "src/spark/CMakeFiles/dsps_spark.dir/streaming_context.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dsps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kafka/CMakeFiles/dsps_kafka.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

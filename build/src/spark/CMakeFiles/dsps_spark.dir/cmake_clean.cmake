@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsps_spark.dir/spark_context.cpp.o"
+  "CMakeFiles/dsps_spark.dir/spark_context.cpp.o.d"
+  "CMakeFiles/dsps_spark.dir/streaming_context.cpp.o"
+  "CMakeFiles/dsps_spark.dir/streaming_context.cpp.o.d"
+  "libdsps_spark.a"
+  "libdsps_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsps_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/aol_generator.cpp" "src/workload/CMakeFiles/dsps_workload.dir/aol_generator.cpp.o" "gcc" "src/workload/CMakeFiles/dsps_workload.dir/aol_generator.cpp.o.d"
+  "/root/repo/src/workload/data_sender.cpp" "src/workload/CMakeFiles/dsps_workload.dir/data_sender.cpp.o" "gcc" "src/workload/CMakeFiles/dsps_workload.dir/data_sender.cpp.o.d"
+  "/root/repo/src/workload/nexmark.cpp" "src/workload/CMakeFiles/dsps_workload.dir/nexmark.cpp.o" "gcc" "src/workload/CMakeFiles/dsps_workload.dir/nexmark.cpp.o.d"
+  "/root/repo/src/workload/streambench.cpp" "src/workload/CMakeFiles/dsps_workload.dir/streambench.cpp.o" "gcc" "src/workload/CMakeFiles/dsps_workload.dir/streambench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dsps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kafka/CMakeFiles/dsps_kafka.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

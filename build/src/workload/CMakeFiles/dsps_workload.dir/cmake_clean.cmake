@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsps_workload.dir/aol_generator.cpp.o"
+  "CMakeFiles/dsps_workload.dir/aol_generator.cpp.o.d"
+  "CMakeFiles/dsps_workload.dir/data_sender.cpp.o"
+  "CMakeFiles/dsps_workload.dir/data_sender.cpp.o.d"
+  "CMakeFiles/dsps_workload.dir/nexmark.cpp.o"
+  "CMakeFiles/dsps_workload.dir/nexmark.cpp.o.d"
+  "CMakeFiles/dsps_workload.dir/streambench.cpp.o"
+  "CMakeFiles/dsps_workload.dir/streambench.cpp.o.d"
+  "libdsps_workload.a"
+  "libdsps_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsps_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsps_yarn.dir/node_manager.cpp.o"
+  "CMakeFiles/dsps_yarn.dir/node_manager.cpp.o.d"
+  "CMakeFiles/dsps_yarn.dir/resource_manager.cpp.o"
+  "CMakeFiles/dsps_yarn.dir/resource_manager.cpp.o.d"
+  "libdsps_yarn.a"
+  "libdsps_yarn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsps_yarn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apex.dir/test_apex.cpp.o"
+  "CMakeFiles/test_apex.dir/test_apex.cpp.o.d"
+  "test_apex"
+  "test_apex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

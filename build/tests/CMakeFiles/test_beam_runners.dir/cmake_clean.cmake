@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beam_runners.dir/test_beam_runners.cpp.o"
+  "CMakeFiles/test_beam_runners.dir/test_beam_runners.cpp.o.d"
+  "test_beam_runners"
+  "test_beam_runners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beam_runners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/test_common.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/test_common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/dsps_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/queries/CMakeFiles/dsps_queries.dir/DependInfo.cmake"
+  "/root/repo/build/src/beam/CMakeFiles/dsps_beam.dir/DependInfo.cmake"
+  "/root/repo/build/src/flink/CMakeFiles/dsps_flink.dir/DependInfo.cmake"
+  "/root/repo/build/src/spark/CMakeFiles/dsps_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/apex/CMakeFiles/dsps_apex.dir/DependInfo.cmake"
+  "/root/repo/build/src/yarn/CMakeFiles/dsps_yarn.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dsps_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kafka/CMakeFiles/dsps_kafka.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dsps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flink.dir/test_flink.cpp.o"
+  "CMakeFiles/test_flink.dir/test_flink.cpp.o.d"
+  "test_flink"
+  "test_flink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_flink.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queries.dir/test_queries.cpp.o"
+  "CMakeFiles/test_queries.dir/test_queries.cpp.o.d"
+  "test_queries"
+  "test_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

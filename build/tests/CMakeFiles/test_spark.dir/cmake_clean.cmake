@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spark.dir/test_spark.cpp.o"
+  "CMakeFiles/test_spark.dir/test_spark.cpp.o.d"
+  "test_spark"
+  "test_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

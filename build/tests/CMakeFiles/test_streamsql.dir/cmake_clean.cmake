@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_streamsql.dir/test_streamsql.cpp.o"
+  "CMakeFiles/test_streamsql.dir/test_streamsql.cpp.o.d"
+  "test_streamsql"
+  "test_streamsql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_streamsql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_yarn.dir/test_yarn.cpp.o"
+  "CMakeFiles/test_yarn.dir/test_yarn.cpp.o.d"
+  "test_yarn"
+  "test_yarn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_yarn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

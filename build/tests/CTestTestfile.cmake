@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;dsps_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_kafka "/root/repo/build/tests/test_kafka")
+set_tests_properties(test_kafka PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;12;dsps_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_yarn "/root/repo/build/tests/test_yarn")
+set_tests_properties(test_yarn PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;13;dsps_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_flink "/root/repo/build/tests/test_flink")
+set_tests_properties(test_flink PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;14;dsps_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_spark "/root/repo/build/tests/test_spark")
+set_tests_properties(test_spark PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;15;dsps_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_apex "/root/repo/build/tests/test_apex")
+set_tests_properties(test_apex PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;16;dsps_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_beam_model "/root/repo/build/tests/test_beam_model")
+set_tests_properties(test_beam_model PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;17;dsps_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_beam_runners "/root/repo/build/tests/test_beam_runners")
+set_tests_properties(test_beam_runners PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;18;dsps_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_workload "/root/repo/build/tests/test_workload")
+set_tests_properties(test_workload PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;19;dsps_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_queries "/root/repo/build/tests/test_queries")
+set_tests_properties(test_queries PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;dsps_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_harness "/root/repo/build/tests/test_harness")
+set_tests_properties(test_harness PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;21;dsps_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_extensions "/root/repo/build/tests/test_extensions")
+set_tests_properties(test_extensions PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;22;dsps_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_streamsql "/root/repo/build/tests/test_streamsql")
+set_tests_properties(test_streamsql PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;23;dsps_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_differential "/root/repo/build/tests/test_differential")
+set_tests_properties(test_differential PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;24;dsps_test;/root/repo/tests/CMakeLists.txt;0;")
