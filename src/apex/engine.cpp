@@ -151,6 +151,39 @@ struct MarkerTarget {
   Mailbox* mailbox = nullptr;
 };
 
+/// Producer-side staging for one (stream, producer partition) binding:
+/// tuples accumulate per target mailbox and ship as one `push_batch` per
+/// `kMailBatch` mails. Owned and flushed by the producer's group thread, so
+/// no synchronization is needed on the pending vectors. Markers are only
+/// sent after a flush, preserving the data-before-end-window ordering the
+/// marker protocol depends on.
+struct OutputBatcher {
+  static constexpr std::size_t kMailBatch = 64;
+
+  struct Target {
+    Mailbox* mailbox = nullptr;
+    std::vector<Mail> pending;
+  };
+  std::vector<Target> targets;
+
+  void stage(std::size_t pick, Mail mail) {
+    Target& target = targets[pick];
+    target.pending.push_back(std::move(mail));
+    if (target.pending.size() >= kMailBatch) flush_target(target);
+  }
+
+  void flush() {
+    for (Target& target : targets) flush_target(target);
+  }
+
+  static void flush_target(Target& target) {
+    if (target.pending.empty()) return;
+    target.mailbox->push_batch(std::move(target.pending));
+    target.pending.clear();
+    target.pending.reserve(kMailBatch);
+  }
+};
+
 struct GroupRuntime {
   int id = 0;
   bool is_input = false;
@@ -159,6 +192,7 @@ struct GroupRuntime {
   InputOperator* input = nullptr;          // when is_input
   std::shared_ptr<Mailbox> mailbox;        // inbound (null for pure input)
   std::vector<MarkerTarget> marker_targets;
+  std::vector<OutputBatcher*> batchers;  // outbound staging, flushed pre-marker
   int expected_marker_producers = 0;  // (inbound stream, producer group) pairs
 };
 
@@ -286,6 +320,7 @@ Result<ApplicationStats> launch_application(yarn::ResourceManager& rm,
     std::size_t round_robin = 0;
   };
   std::vector<std::unique_ptr<RouterState>> routers;
+  std::vector<std::unique_ptr<OutputBatcher>> batchers;
   for (std::size_t s = 0; s < dag.streams().size(); ++s) {
     const auto& stream = dag.streams()[s];
     const auto& from = dag.nodes()[static_cast<std::size_t>(stream.from.node)];
@@ -312,19 +347,28 @@ Result<ApplicationStats> launch_application(yarn::ResourceManager& rm,
         continue;
       }
 
-      // Cross-thread: route to a consumer instance's group mailbox.
+      // Cross-thread: route to a consumer instance's group mailbox. Data
+      // mails are staged per target and shipped in batches; the producer's
+      // group flushes every batcher before it sends any marker.
       routers.push_back(std::make_unique<RouterState>());
       RouterState* router = routers.back().get();
-      std::vector<std::pair<int, Mailbox*>> targets;  // (instance, mailbox)
+      batchers.push_back(std::make_unique<OutputBatcher>());
+      OutputBatcher* batcher = batchers.back().get();
+      std::vector<int> target_instances;
       for (int pt = 0; pt < to.partitions; ++pt) {
         const int consumer_instance =
             plan.by_node_partition.at({stream.to.node, pt});
         const int consumer_group =
             plan.instances[static_cast<std::size_t>(consumer_instance)].group;
-        targets.emplace_back(
-            consumer_instance,
-            groups[static_cast<std::size_t>(consumer_group)].mailbox.get());
+        target_instances.push_back(consumer_instance);
+        batcher->targets.push_back(OutputBatcher::Target{
+            groups[static_cast<std::size_t>(consumer_group)].mailbox.get(),
+            {}});
       }
+      const int producer_group =
+          plan.instances[static_cast<std::size_t>(producer_instance)].group;
+      groups[static_cast<std::size_t>(producer_group)].batchers.push_back(
+          batcher);
       const bool pairwise = from.partitions == to.partitions;
       const bool serialize = stream.locality == Locality::kNodeLocal;
       StreamCodec* codec = codecs[s].get();
@@ -332,16 +376,15 @@ Result<ApplicationStats> launch_application(yarn::ResourceManager& rm,
       const int codec_index = static_cast<int>(s);
       producer->bind_output(
           stream.from.port,
-          [targets, router, pairwise, serialize, codec, port, pf, counter,
-           codec_index](Tuple tuple) {
+          [target_instances, router, batcher, pairwise, serialize, codec,
+           port, pf, counter, codec_index](Tuple tuple) {
             const std::size_t pick =
                 pairwise ? static_cast<std::size_t>(pf)
-                         : router->round_robin++ % targets.size();
-            const auto& [instance, mailbox] = targets[pick];
+                         : router->round_robin++ % target_instances.size();
             counter->fetch_add(1, std::memory_order_relaxed);
             Mail mail;
             mail.kind = Mail::Kind::kData;
-            mail.target_instance = instance;
+            mail.target_instance = target_instances[pick];
             mail.target_port = port;
             if (serialize) {
               mail.bytes = codec->serialize(tuple);
@@ -350,7 +393,7 @@ Result<ApplicationStats> launch_application(yarn::ResourceManager& rm,
             } else {
               mail.tuple = std::move(tuple);
             }
-            mailbox->push(std::move(mail));
+            batcher->stage(pick, std::move(mail));
           });
     }
   }
@@ -393,6 +436,9 @@ Result<ApplicationStats> launch_application(yarn::ResourceManager& rm,
   // --- group thread bodies --------------------------------------------------
   auto send_markers = [](GroupRuntime& group, Mail::Kind kind,
                          WindowId window) {
+    // Ship staged data first so every consumer sees a window's tuples
+    // before that window's end marker.
+    for (OutputBatcher* batcher : group.batchers) batcher->flush();
     for (const auto& target : group.marker_targets) {
       Mail mail;
       mail.kind = kind;
@@ -423,48 +469,58 @@ Result<ApplicationStats> launch_application(yarn::ResourceManager& rm,
       return;
     }
 
-    // Processing group: drive lifecycle from received markers.
+    // Processing group: drive lifecycle from received markers. Mails are
+    // drained in batches; each batch is processed strictly in arrival order
+    // so the marker protocol is unchanged.
     int end_streams_seen = 0;
     int ends_seen = 0;
     bool in_window = false;
     WindowId current_window = 0;
+    std::vector<Mail> inbox;
+    inbox.reserve(OutputBatcher::kMailBatch * 2);
     while (end_streams_seen < group.expected_marker_producers) {
-      auto mail = group.mailbox->pop();
-      if (!mail.has_value()) break;
-      switch (mail->kind) {
-        case Mail::Kind::kData: {
-          Operator* op = instance_ops.at(mail->target_instance).first;
-          if (mail->serialized) {
-            op->deliver(
-                mail->target_port,
-                codecs[static_cast<std::size_t>(mail->codec_index)]
-                    ->deserialize(mail->bytes));
-          } else {
-            op->deliver(mail->target_port, std::move(mail->tuple));
-          }
-          break;
-        }
-        case Mail::Kind::kBeginWindow:
-          if (!in_window) {
-            current_window = mail->window;
-            for (auto* op : group.operators) op->begin_window(current_window);
-            send_markers(group, Mail::Kind::kBeginWindow, current_window);
-            in_window = true;
-          }
-          break;
-        case Mail::Kind::kEndWindow:
-          if (++ends_seen >= group.expected_marker_producers) {
-            ends_seen = 0;
-            if (in_window) {
-              for (auto* op : group.operators) op->end_window();
-              send_markers(group, Mail::Kind::kEndWindow, current_window);
-              in_window = false;
+      inbox.clear();
+      const std::size_t drained =
+          group.mailbox->pop_batch(inbox, inbox.capacity());
+      if (drained == 0) break;
+      for (auto& mail : inbox) {
+        switch (mail.kind) {
+          case Mail::Kind::kData: {
+            Operator* op = instance_ops.at(mail.target_instance).first;
+            if (mail.serialized) {
+              op->deliver(
+                  mail.target_port,
+                  codecs[static_cast<std::size_t>(mail.codec_index)]
+                      ->deserialize(mail.bytes));
+            } else {
+              op->deliver(mail.target_port, std::move(mail.tuple));
             }
+            break;
           }
-          break;
-        case Mail::Kind::kEndStream:
-          ++end_streams_seen;
-          break;
+          case Mail::Kind::kBeginWindow:
+            if (!in_window) {
+              current_window = mail.window;
+              for (auto* op : group.operators) {
+                op->begin_window(current_window);
+              }
+              send_markers(group, Mail::Kind::kBeginWindow, current_window);
+              in_window = true;
+            }
+            break;
+          case Mail::Kind::kEndWindow:
+            if (++ends_seen >= group.expected_marker_producers) {
+              ends_seen = 0;
+              if (in_window) {
+                for (auto* op : group.operators) op->end_window();
+                send_markers(group, Mail::Kind::kEndWindow, current_window);
+                in_window = false;
+              }
+            }
+            break;
+          case Mail::Kind::kEndStream:
+            ++end_streams_seen;
+            break;
+        }
       }
     }
     if (in_window) {

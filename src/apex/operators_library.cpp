@@ -24,10 +24,10 @@ void KafkaStringInput::setup(const OperatorContext& /*context*/) {
 bool KafkaStringInput::emit_tuples(std::size_t budget) {
   std::size_t emitted = 0;
   while (emitted < budget) {
-    const auto records = consumer_->poll(/*timeout_ms=*/0);
-    if (records.empty()) break;
-    for (const auto& record : records) {
-      emit(out_, make_tuple_of<std::string>(record.value));
+    auto batch = consumer_->poll_batch(/*timeout_ms=*/0);
+    if (batch.empty()) break;
+    for (auto& record : batch.records) {
+      emit(out_, make_tuple_of<std::string>(std::move(record.value)));
       ++emitted;
     }
   }

@@ -4,7 +4,6 @@
 // serialization work per element per stage.
 #pragma once
 
-#include <any>
 #include <memory>
 #include <string>
 
@@ -18,8 +17,8 @@ namespace dsps::beam {
 class Coder {
  public:
   virtual ~Coder() = default;
-  virtual void encode(const std::any& value, BinaryWriter& out) const = 0;
-  virtual std::any decode(BinaryReader& in) const = 0;
+  virtual void encode(const Value& value, BinaryWriter& out) const = 0;
+  virtual Value decode(BinaryReader& in) const = 0;
   virtual std::string name() const = 0;
 };
 
@@ -27,10 +26,10 @@ using CoderPtr = std::shared_ptr<const Coder>;
 
 class StringUtf8Coder final : public Coder {
  public:
-  void encode(const std::any& value, BinaryWriter& out) const override {
-    out.write_string(std::any_cast<const std::string&>(value));
+  void encode(const Value& value, BinaryWriter& out) const override {
+    out.write_string(value.get<std::string>());
   }
-  std::any decode(BinaryReader& in) const override {
+  Value decode(BinaryReader& in) const override {
     return in.read_string();
   }
   std::string name() const override { return "StringUtf8Coder"; }
@@ -38,23 +37,23 @@ class StringUtf8Coder final : public Coder {
 
 class VarIntCoder final : public Coder {
  public:
-  void encode(const std::any& value, BinaryWriter& out) const override {
-    out.write_i64(std::any_cast<std::int64_t>(value));
+  void encode(const Value& value, BinaryWriter& out) const override {
+    out.write_i64(value.get<std::int64_t>());
   }
-  std::any decode(BinaryReader& in) const override { return in.read_i64(); }
+  Value decode(BinaryReader& in) const override { return in.read_i64(); }
   std::string name() const override { return "VarIntCoder"; }
 };
 
 class DoubleCoder final : public Coder {
  public:
-  void encode(const std::any& value, BinaryWriter& out) const override {
-    const double v = std::any_cast<double>(value);
+  void encode(const Value& value, BinaryWriter& out) const override {
+    const double v = value.get<double>();
     std::uint64_t bits;
     static_assert(sizeof bits == sizeof v);
     std::memcpy(&bits, &v, sizeof bits);
     out.write_u64(bits);
   }
-  std::any decode(BinaryReader& in) const override {
+  Value decode(BinaryReader& in) const override {
     const std::uint64_t bits = in.read_u64();
     double v;
     std::memcpy(&v, &bits, sizeof v);
@@ -71,15 +70,15 @@ class KvCoder final : public Coder {
       : key_coder_(std::move(key_coder)),
         value_coder_(std::move(value_coder)) {}
 
-  void encode(const std::any& value, BinaryWriter& out) const override {
-    const auto& kv = std::any_cast<const KV<K, V>&>(value);
-    key_coder_->encode(std::any{kv.key}, out);
-    value_coder_->encode(std::any{kv.value}, out);
+  void encode(const Value& value, BinaryWriter& out) const override {
+    const auto& kv = value.get<KV<K, V>>();
+    key_coder_->encode(Value{kv.key}, out);
+    value_coder_->encode(Value{kv.value}, out);
   }
-  std::any decode(BinaryReader& in) const override {
+  Value decode(BinaryReader& in) const override {
     KV<K, V> kv;
-    kv.key = std::any_cast<K>(key_coder_->decode(in));
-    kv.value = std::any_cast<V>(value_coder_->decode(in));
+    kv.key = key_coder_->decode(in).template get<K>();
+    kv.value = value_coder_->decode(in).template get<V>();
     return kv;
   }
   std::string name() const override {
@@ -147,12 +146,21 @@ class WindowedValueCoder {
     Element element;
     element.timestamp = reader.read_i64();
     const std::uint32_t window_count = reader.read_u32();
-    element.windows.clear();
-    for (std::uint32_t w = 0; w < window_count; ++w) {
+    if (window_count == 1) {
       BoundedWindow window;
       window.start = reader.read_i64();
       window.end = reader.read_i64();
-      element.windows.push_back(window);
+      element.windows = {window};
+    } else {
+      std::vector<BoundedWindow> windows;
+      windows.reserve(window_count);
+      for (std::uint32_t w = 0; w < window_count; ++w) {
+        BoundedWindow window;
+        window.start = reader.read_i64();
+        window.end = reader.read_i64();
+        windows.push_back(window);
+      }
+      element.windows = WindowSet(std::move(windows));
     }
     const std::uint8_t pane_bits = reader.read_u8();
     element.pane.is_first = (pane_bits & 2) != 0;

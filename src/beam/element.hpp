@@ -3,12 +3,23 @@
 // every record. Carrying this envelope through every translated transform —
 // boxing on entry, unboxing per stage, copying the window set — is the
 // structural per-element cost of the abstraction layer the paper measures.
+//
+// The envelope itself is kept lean so the measured overhead is the *model's*
+// (the extra translated operators, the coder hops, the per-record writer),
+// not accidental allocator traffic: hot payload types live inline in a
+// variant instead of a heap-boxed std::any, and the window set stores the
+// ubiquitous single-window case without allocating.
 #pragma once
 
+#include <algorithm>
 #include <any>
 #include <cstdint>
+#include <initializer_list>
 #include <limits>
+#include <string>
+#include <type_traits>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -33,29 +44,6 @@ struct PaneInfo {
   std::int64_t index = 0;
 };
 
-/// One windowed value.
-struct Element {
-  std::any value;
-  Timestamp timestamp = std::numeric_limits<Timestamp>::min();
-  std::vector<BoundedWindow> windows{global_window()};
-  PaneInfo pane{};
-};
-
-template <typename T>
-Element make_element(T value,
-                     Timestamp timestamp =
-                         std::numeric_limits<Timestamp>::min()) {
-  Element element;
-  element.value = std::move(value);
-  element.timestamp = timestamp;
-  return element;
-}
-
-template <typename T>
-const T& element_value(const Element& element) {
-  return std::any_cast<const T&>(element.value);
-}
-
 /// Key/value pair, the currency of GroupByKey and stateful ParDo.
 template <typename K, typename V>
 struct KV {
@@ -73,5 +61,135 @@ concept KvElement = requires {
   typename T::key_t;
   typename T::value_t;
 };
+
+/// Type-erased element payload. The payload types the translated queries
+/// move in bulk — strings, string KV pairs, and the numeric scalars — are
+/// stored inline in a variant; any other type falls back to std::any,
+/// paying the heap boxing every payload used to pay.
+class Value {
+ public:
+  Value() = default;
+
+  template <typename T>
+    requires(!std::is_same_v<std::remove_cvref_t<T>, Value>)
+  Value(T&& value) {  // NOLINT(google-explicit-constructor)
+    assign(std::forward<T>(value));
+  }
+
+  template <typename T>
+    requires(!std::is_same_v<std::remove_cvref_t<T>, Value>)
+  Value& operator=(T&& value) {
+    assign(std::forward<T>(value));
+    return *this;
+  }
+
+  bool has_value() const noexcept {
+    return !std::holds_alternative<std::monostate>(storage_);
+  }
+
+  template <typename T>
+  const T& get() const {
+    if constexpr (kInline<T>) {
+      if (const T* inline_value = std::get_if<T>(&storage_)) {
+        return *inline_value;
+      }
+    }
+    return std::any_cast<const T&>(std::get<std::any>(storage_));
+  }
+
+ private:
+  template <typename T>
+  static constexpr bool kInline =
+      std::is_same_v<T, std::string> ||
+      std::is_same_v<T, KV<std::string, std::string>> ||
+      std::is_same_v<T, std::int64_t> || std::is_same_v<T, double>;
+
+  template <typename T>
+  void assign(T&& value) {
+    using Decayed = std::remove_cvref_t<T>;
+    if constexpr (kInline<Decayed>) {
+      storage_ = std::forward<T>(value);
+    } else {
+      storage_ = std::any{std::forward<T>(value)};
+    }
+  }
+
+  std::variant<std::monostate, std::string, KV<std::string, std::string>,
+               std::int64_t, double, std::any>
+      storage_;
+};
+
+/// The window set of one element. Nearly every element lives in exactly one
+/// window — the global window until a WindowInto reassigns it — so that
+/// case is stored inline and never allocates. A multi-window assignment
+/// (sliding windows) spills all windows to a vector, keeping iteration
+/// contiguous either way.
+class WindowSet {
+ public:
+  /// A fresh element belongs to the global window, as in Beam.
+  WindowSet() = default;
+
+  WindowSet(std::initializer_list<BoundedWindow> windows)
+      : size_(windows.size()) {
+    if (size_ == 1) {
+      first_ = *windows.begin();
+    } else if (size_ > 1) {
+      overflow_.assign(windows.begin(), windows.end());
+    }
+  }
+
+  WindowSet(std::vector<BoundedWindow> windows)  // NOLINT
+      : size_(windows.size()) {
+    if (size_ == 1) {
+      first_ = windows.front();
+    } else if (size_ > 1) {
+      overflow_ = std::move(windows);
+    }
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  const BoundedWindow* begin() const noexcept {
+    return size_ > 1 ? overflow_.data() : &first_;
+  }
+  const BoundedWindow* end() const noexcept { return begin() + size_; }
+
+  const BoundedWindow& operator[](std::size_t index) const {
+    return begin()[index];
+  }
+
+  friend bool operator==(const WindowSet& a, const WindowSet& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  BoundedWindow first_ = global_window();
+  std::vector<BoundedWindow> overflow_;  // holds *all* windows when size_ > 1
+  std::size_t size_ = 1;
+};
+
+/// One windowed value.
+struct Element {
+  Value value;
+  Timestamp timestamp = std::numeric_limits<Timestamp>::min();
+  WindowSet windows;
+  PaneInfo pane{};
+};
+
+template <typename T>
+Element make_element(T value,
+                     Timestamp timestamp =
+                         std::numeric_limits<Timestamp>::min()) {
+  Element element;
+  element.value = std::move(value);
+  element.timestamp = timestamp;
+  return element;
+}
+
+template <typename T>
+const T& element_value(const Element& element) {
+  return element.value.get<T>();
+}
 
 }  // namespace dsps::beam

@@ -32,9 +32,9 @@ void KafkaStringSource::run(SourceContext& context) {
   if (assigned_.empty()) return;  // surplus subtask: nothing to read
   int polls_since_commit = 0;
   while (!context.cancelled()) {
-    const auto records = consumer_->poll(config_.poll_timeout_ms);
-    for (const auto& record : records) {
-      context.collect(make_elem<std::string>(record.value));
+    auto batch = consumer_->poll_batch(config_.poll_timeout_ms);
+    for (auto& record : batch.records) {
+      context.collect(make_elem<std::string>(std::move(record.value)));
     }
     if (config_.resume_from_group &&
         ++polls_since_commit >= config_.commit_every_polls) {

@@ -27,7 +27,51 @@ struct Envelope {
   bool eos = false;
 };
 
-using Channel = BoundedQueue<Envelope>;
+/// Network channel between unchained subtasks. Channels with exactly one
+/// writing subtask (e.g. FORWARD edges with matching parallelism) ride the
+/// lock-free SPSC ring; fan-in channels fall back to the locked MPMC queue.
+/// Both paths move whole envelope batches per hand-off.
+class Channel {
+ public:
+  Channel(std::size_t capacity, bool single_producer) {
+    if (single_producer) {
+      spsc_ = std::make_unique<SpscRingQueue<Envelope>>(capacity);
+    } else {
+      mpmc_ = std::make_unique<BoundedQueue<Envelope>>(capacity);
+    }
+  }
+
+  bool push(Envelope envelope) {
+    return spsc_ ? spsc_->push(std::move(envelope))
+                 : mpmc_->push(std::move(envelope));
+  }
+
+  std::size_t push_batch(std::vector<Envelope>&& envelopes) {
+    return spsc_ ? spsc_->push_batch(std::move(envelopes))
+                 : mpmc_->push_batch(std::move(envelopes));
+  }
+
+  std::optional<Envelope> pop() { return spsc_ ? spsc_->pop() : mpmc_->pop(); }
+
+  std::size_t pop_batch(std::vector<Envelope>& out, std::size_t max_items) {
+    return spsc_ ? spsc_->pop_batch(out, max_items)
+                 : mpmc_->pop_batch(out, max_items);
+  }
+
+  void close() {
+    if (spsc_) {
+      spsc_->close();
+    } else {
+      mpmc_->close();
+    }
+  }
+
+  bool single_producer() const noexcept { return spsc_ != nullptr; }
+
+ private:
+  std::unique_ptr<SpscRingQueue<Envelope>> spsc_;
+  std::unique_ptr<BoundedQueue<Envelope>> mpmc_;
+};
 
 /// One TaskManager: a bundle of task slots. Slot accounting is real —
 /// scheduling fails when the cluster has fewer slots than subtasks — and

@@ -17,6 +17,7 @@ constexpr QueryId kQueries[] = {QueryId::kIdentity, QueryId::kSample,
 constexpr int kParallelisms[] = {1, 2};
 
 double mean_execution_time(const MeasurementSet& set, const SetupKey& key) {
+  if (!set.contains(key)) return 0.0;
   return mean(set.get(key).execution_times());
 }
 

@@ -1,5 +1,6 @@
 #include "kafka/broker.hpp"
 
+#include <shared_mutex>
 #include <utility>
 
 namespace dsps::kafka {
@@ -39,12 +40,12 @@ Status Broker::delete_topic(const std::string& name) {
 }
 
 bool Broker::topic_exists(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  std::shared_lock lock(mutex_);
   return topics_.contains(name);
 }
 
 Result<TopicMetadata> Broker::describe_topic(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  std::shared_lock lock(mutex_);
   const auto it = topics_.find(name);
   if (it == topics_.end()) {
     return Status::not_found("topic not found: " + name);
@@ -53,7 +54,7 @@ Result<TopicMetadata> Broker::describe_topic(const std::string& name) const {
 }
 
 std::vector<std::string> Broker::list_topics() const {
-  std::lock_guard lock(mutex_);
+  std::shared_lock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(topics_.size());
   for (const auto& [name, topic] : topics_) names.push_back(name);
@@ -61,7 +62,7 @@ std::vector<std::string> Broker::list_topics() const {
 }
 
 const Broker::Topic* Broker::find_topic(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  std::shared_lock lock(mutex_);
   const auto it = topics_.find(name);
   return it == topics_.end() ? nullptr : &it->second;
 }
@@ -155,7 +156,7 @@ Result<std::int64_t> Broker::offset_for_time(const TopicPartition& tp,
 }
 
 Result<int> Broker::partition_count(const std::string& topic) const {
-  std::lock_guard lock(mutex_);
+  std::shared_lock lock(mutex_);
   const auto it = topics_.find(topic);
   if (it == topics_.end()) {
     return Status::not_found("topic not found: " + topic);

@@ -11,6 +11,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -100,7 +101,9 @@ class Broker {
   Result<const Topic*> topic_for(const TopicPartition& tp) const;
 
   std::atomic<std::int64_t> rtt_us_{0};
-  mutable std::mutex mutex_;  // guards the topic map, not the logs
+  // Guards the topic map, not the logs. Topic creation is rare and lookups
+  // dominate (every append/fetch resolves its topic), so readers share.
+  mutable std::shared_mutex mutex_;
   std::map<std::string, Topic> topics_;
   std::map<std::string, std::map<std::string, std::map<int, std::int64_t>>>
       group_offsets_;  // group -> topic -> partition -> offset

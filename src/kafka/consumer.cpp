@@ -77,6 +77,39 @@ std::vector<ConsumedRecord> Consumer::poll(std::int64_t timeout_ms) {
   return out;
 }
 
+FetchBatch Consumer::poll_batch(std::int64_t timeout_ms) {
+  FetchBatch batch;
+  if (assignments_.empty()) return batch;
+
+  // Non-blocking round-robin: first assignment with data wins the batch.
+  for (std::size_t i = 0; i < assignments_.size(); ++i) {
+    auto& assignment = assignments_[next_partition_];
+    next_partition_ = (next_partition_ + 1) % assignments_.size();
+    const auto fetched_count =
+        broker_.fetch(assignment.tp, assignment.position,
+                      config_.max_poll_records, batch.records);
+    if (fetched_count.is_ok() && fetched_count.value() > 0) {
+      batch.tp = assignment.tp;
+      batch.base_offset = assignment.position;
+      assignment.position += static_cast<std::int64_t>(fetched_count.value());
+      return batch;
+    }
+  }
+  if (timeout_ms <= 0) return batch;
+
+  // Nothing available: block on the first assignment for the timeout.
+  auto& assignment = assignments_.front();
+  const auto fetched_count = broker_.fetch_blocking(
+      assignment.tp, assignment.position, config_.max_poll_records, timeout_ms,
+      batch.records);
+  if (fetched_count.is_ok() && fetched_count.value() > 0) {
+    batch.tp = assignment.tp;
+    batch.base_offset = assignment.position;
+    assignment.position += static_cast<std::int64_t>(fetched_count.value());
+  }
+  return batch;
+}
+
 Status Consumer::seek(const TopicPartition& tp, std::int64_t offset) {
   for (auto& assignment : assignments_) {
     if (assignment.tp == tp) {

@@ -21,6 +21,19 @@ struct ConsumedRecord {
   Timestamp timestamp = 0;
 };
 
+/// One contiguous fetch from a single partition, as returned by
+/// Consumer::poll_batch. Records keep the broker's StoredRecord layout, so
+/// a batch costs one bulk copy out of the partition log and no per-record
+/// re-wrapping; `records[i].offset == base_offset + i`.
+struct FetchBatch {
+  TopicPartition tp;
+  std::int64_t base_offset = 0;
+  std::vector<StoredRecord> records;
+
+  bool empty() const noexcept { return records.empty(); }
+  std::size_t size() const noexcept { return records.size(); }
+};
+
 struct ConsumerConfig {
   /// Optional consumer group for offset commits; empty = no group.
   std::string group_id;
@@ -44,6 +57,14 @@ class Consumer {
   /// Polls all assigned partitions; blocks up to `timeout_ms` when no data
   /// is immediately available. Returns the records (possibly empty).
   std::vector<ConsumedRecord> poll(std::int64_t timeout_ms);
+
+  /// Batch-native poll: round-robins over the assignments and returns the
+  /// first non-empty contiguous fetch (up to `max_poll_records`) from a
+  /// single partition, advancing that partition's position past the batch.
+  /// Unlike poll(), records are not re-wrapped one by one — callers that
+  /// want the values can move them straight out of the batch. Blocks up to
+  /// `timeout_ms` when nothing is immediately available.
+  FetchBatch poll_batch(std::int64_t timeout_ms);
 
   /// Moves the position of `tp` to `offset`.
   Status seek(const TopicPartition& tp, std::int64_t offset);

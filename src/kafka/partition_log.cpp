@@ -7,6 +7,7 @@ namespace dsps::kafka {
 
 std::int64_t PartitionLog::append(const ProducerRecord& record) {
   std::int64_t offset;
+  bool wake;
   {
     std::lock_guard lock(mutex_);
     offset = static_cast<std::int64_t>(records_.size());
@@ -18,8 +19,9 @@ std::int64_t PartitionLog::append(const ProducerRecord& record) {
                          ? wall_clock_now()
                          : record.create_time,
     });
+    wake = fetch_waiters_ > 0;
   }
-  data_arrived_.notify_all();
+  if (wake) data_arrived_.notify_all();
   return offset;
 }
 
@@ -27,11 +29,18 @@ std::int64_t PartitionLog::append_batch(
     const std::vector<ProducerRecord>& records) {
   if (records.empty()) return end_offset() - 1;
   std::int64_t last_offset;
+  bool wake;
   {
     std::lock_guard lock(mutex_);
     // One timestamp per batch arrival, as a broker stamps at append time.
     const Timestamp now = wall_clock_now();
-    records_.reserve(records_.size() + records.size());
+    if (records_.size() + records.size() > records_.capacity()) {
+      // Grow geometrically. An exact-size reserve here defeats push_back's
+      // amortization: once the log fills its capacity, every producer flush
+      // reallocates (and moves) the entire log — quadratic in log length.
+      records_.reserve(
+          std::max(records_.capacity() * 2, records_.size() + records.size()));
+    }
     for (const auto& record : records) {
       const auto offset = static_cast<std::int64_t>(records_.size());
       records_.push_back(StoredRecord{
@@ -44,8 +53,9 @@ std::int64_t PartitionLog::append_batch(
       });
     }
     last_offset = static_cast<std::int64_t>(records_.size()) - 1;
+    wake = fetch_waiters_ > 0;
   }
-  data_arrived_.notify_all();
+  if (wake) data_arrived_.notify_all();
   return last_offset;
 }
 
@@ -69,8 +79,10 @@ std::size_t PartitionLog::fetch_blocking(std::int64_t offset,
   if (offset < 0) offset = 0;
   const auto start = static_cast<std::size_t>(offset);
   if (start >= records_.size()) {
+    ++fetch_waiters_;
     data_arrived_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
                            [&] { return start < records_.size(); });
+    --fetch_waiters_;
   }
   if (start >= records_.size()) return 0;
   const std::size_t n = std::min(max_records, records_.size() - start);

@@ -59,6 +59,7 @@ class PartitionLog {
   const TimestampType timestamp_type_;
   mutable std::mutex mutex_;
   mutable std::condition_variable data_arrived_;
+  mutable int fetch_waiters_ = 0;  // appenders notify only when someone waits
   std::vector<StoredRecord> records_;
 };
 

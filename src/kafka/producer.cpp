@@ -21,14 +21,35 @@ Producer::~Producer() {
 
 Producer::Buffer& Producer::buffer_for(const std::string& topic,
                                        int partition) {
-  for (auto& buffer : buffers_) {
-    if (buffer.tp.partition == partition && buffer.tp.topic == topic) {
-      return buffer;
-    }
+  if (last_buffer_ != kNoBuffer) {
+    Buffer& last = buffers_[last_buffer_];
+    if (last.tp.partition == partition && last.tp.topic == topic) return last;
   }
-  buffers_.push_back(Buffer{.tp = {topic, partition}, .records = {}});
-  buffers_.back().records.reserve(config_.batch_size);
-  return buffers_.back();
+  if (partition < 0) {
+    // Invalid partitions surface as broker errors at flush time; keep the
+    // old scan-or-create path for them rather than indexing by partition.
+    for (std::size_t i = 0; i < buffers_.size(); ++i) {
+      if (buffers_[i].tp.partition == partition &&
+          buffers_[i].tp.topic == topic) {
+        last_buffer_ = i;
+        return buffers_[i];
+      }
+    }
+    last_buffer_ = buffers_.size();
+    buffers_.push_back(Buffer{.tp = {topic, partition}, .records = {}});
+    buffers_.back().records.reserve(config_.batch_size);
+    return buffers_.back();
+  }
+  auto& slots = buffer_index_[topic];
+  const auto p = static_cast<std::size_t>(partition);
+  if (p >= slots.size()) slots.resize(p + 1, kNoBuffer);
+  if (slots[p] == kNoBuffer) {
+    slots[p] = buffers_.size();
+    buffers_.push_back(Buffer{.tp = {topic, partition}, .records = {}});
+    buffers_.back().records.reserve(config_.batch_size);
+  }
+  last_buffer_ = slots[p];
+  return buffers_[slots[p]];
 }
 
 Status Producer::send(const std::string& topic, int partition,

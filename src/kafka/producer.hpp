@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.hpp"
@@ -61,12 +62,19 @@ class Producer {
     std::int64_t oldest_buffered_us = 0;  // steady clock; 0 = empty
   };
 
+  static constexpr std::size_t kNoBuffer = static_cast<std::size_t>(-1);
+
   Buffer& buffer_for(const std::string& topic, int partition);
   Status flush_buffer(Buffer& buffer);
 
   Broker& broker_;
   const ProducerConfig config_;
   std::vector<Buffer> buffers_;
+  // topic -> partition -> index into buffers_; replaces a linear scan over
+  // every buffer per send(). last_buffer_ short-circuits the common case of
+  // consecutive sends to the same partition without hashing the topic.
+  std::unordered_map<std::string, std::vector<std::size_t>> buffer_index_;
+  std::size_t last_buffer_ = kNoBuffer;
   std::uint64_t records_sent_ = 0;
   bool closed_ = false;
 };

@@ -11,14 +11,14 @@ namespace {
 
 class BidCoder final : public Coder {
  public:
-  void encode(const std::any& value, BinaryWriter& out) const override {
-    const auto& bid = std::any_cast<const workload::Bid&>(value);
+  void encode(const Value& value, BinaryWriter& out) const override {
+    const auto& bid = value.get<workload::Bid>();
     out.write_i64(bid.auction);
     out.write_i64(bid.bidder);
     out.write_i64(bid.price);
     out.write_i64(bid.date_time);
   }
-  std::any decode(BinaryReader& in) const override {
+  Value decode(BinaryReader& in) const override {
     workload::Bid bid;
     bid.auction = in.read_i64();
     bid.bidder = in.read_i64();

@@ -1,8 +1,10 @@
 #include "spark/streaming_context.hpp"
 
 #include <chrono>
+#include <thread>
 
 #include "common/clock.hpp"
+#include "common/queue.hpp"
 
 namespace dsps::spark {
 
@@ -26,6 +28,18 @@ class KafkaDirectInputDStream final : public DStreamNode<std::string>,
     const auto partitions = broker_.partition_count(topic_);
     if (partitions.is_ok()) {
       positions_.resize(static_cast<std::size_t>(partitions.value()), 0);
+      // Size the claim buffer up front; each partition contributes one
+      // contiguous fetched range.
+      std::size_t expected = 0;
+      for (int p = 0; p < partitions.value(); ++p) {
+        const auto end = broker_.end_offset({topic_, p});
+        if (!end.is_ok()) continue;
+        const auto position = positions_[static_cast<std::size_t>(p)];
+        if (end.value() > position) {
+          expected += static_cast<std::size_t>(end.value() - position);
+        }
+      }
+      claimed.reserve(expected);
       for (int p = 0; p < partitions.value(); ++p) {
         const kafka::TopicPartition tp{topic_, p};
         const auto end = broker_.end_offset(tp);
@@ -82,6 +96,123 @@ class KafkaDirectInputDStream final : public DStreamNode<std::string>,
   RDDPtr<std::string> cached_;
 };
 
+/// Receiver-based Kafka input: a dedicated receiver thread pulls blocks of
+/// records from the broker into an SPSC ring-buffer block queue (receiver
+/// thread = producer, batch generator = consumer); rdd_for drains whatever
+/// blocks have arrived since the previous batch.
+class KafkaReceiverInputDStream final : public DStreamNode<std::string>,
+                                        public InputDStreamBase {
+ public:
+  static constexpr std::size_t kBlockRecords = 512;
+  static constexpr std::size_t kBlockQueueCapacity = 64;
+
+  KafkaReceiverInputDStream(kafka::Broker& broker, std::string topic,
+                            int parallelism)
+      : broker_(broker),
+        topic_(std::move(topic)),
+        parallelism_(parallelism),
+        blocks_(kBlockQueueCapacity) {
+    receiver_ = std::thread([this] { receive(); });
+  }
+
+  ~KafkaReceiverInputDStream() override {
+    stop_requested_.store(true);
+    blocks_.close();
+    if (receiver_.joinable()) receiver_.join();
+  }
+
+  RDDPtr<std::string> rdd_for(BatchId batch, SparkContext& sc) override {
+    std::lock_guard lock(mutex_);
+    if (batch == cached_batch_ && cached_) return cached_;
+
+    std::vector<std::string> claimed;
+    std::vector<std::string> block;
+    while (blocks_.try_pop(block) == QueuePopResult::kOk) {
+      claimed.insert(claimed.end(), std::make_move_iterator(block.begin()),
+                     std::make_move_iterator(block.end()));
+      block.clear();
+    }
+    last_batch_records_ = claimed.size();
+    cached_ = sc.parallelize(std::move(claimed), parallelism_);
+    cached_batch_ = batch;
+    return cached_;
+  }
+
+  bool drained() const override {
+    if (blocks_.size() > 0) return false;
+    const auto partitions = broker_.partition_count(topic_);
+    if (!partitions.is_ok()) return true;
+    std::lock_guard lock(positions_mutex_);
+    for (int p = 0; p < partitions.value(); ++p) {
+      const auto end = broker_.end_offset({topic_, p});
+      if (!end.is_ok()) continue;
+      const std::int64_t position =
+          static_cast<std::size_t>(p) < positions_.size()
+              ? positions_[static_cast<std::size_t>(p)]
+              : 0;
+      if (position < end.value()) return false;
+    }
+    return true;
+  }
+
+  std::size_t last_batch_records() const override {
+    std::lock_guard lock(mutex_);
+    return last_batch_records_;
+  }
+
+ private:
+  void receive() {
+    std::vector<kafka::StoredRecord> fetched;
+    while (!stop_requested_.load(std::memory_order_relaxed)) {
+      const auto partitions = broker_.partition_count(topic_);
+      bool got_data = false;
+      if (partitions.is_ok()) {
+        {
+          std::lock_guard lock(positions_mutex_);
+          positions_.resize(static_cast<std::size_t>(partitions.value()), 0);
+        }
+        for (int p = 0; p < partitions.value(); ++p) {
+          std::int64_t position;
+          {
+            std::lock_guard lock(positions_mutex_);
+            position = positions_[static_cast<std::size_t>(p)];
+          }
+          fetched.clear();
+          const auto n =
+              broker_.fetch({topic_, p}, position, kBlockRecords, fetched);
+          if (!n.is_ok() || n.value() == 0) continue;
+          std::vector<std::string> block;
+          block.reserve(fetched.size());
+          for (auto& record : fetched) block.push_back(std::move(record.value));
+          if (!blocks_.push(std::move(block))) return;  // queue closed
+          {
+            std::lock_guard lock(positions_mutex_);
+            positions_[static_cast<std::size_t>(p)] +=
+                static_cast<std::int64_t>(n.value());
+          }
+          got_data = true;
+        }
+      }
+      if (!got_data) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  }
+
+  kafka::Broker& broker_;
+  const std::string topic_;
+  const int parallelism_;
+  mutable SpscRingQueue<std::vector<std::string>> blocks_;
+  std::thread receiver_;
+  std::atomic<bool> stop_requested_{false};
+  mutable std::mutex mutex_;            // guards the batch cache
+  mutable std::mutex positions_mutex_;  // guards receiver positions
+  std::vector<std::int64_t> positions_;
+  std::size_t last_batch_records_ = 0;
+  BatchId cached_batch_ = -1;
+  RDDPtr<std::string> cached_;
+};
+
 }  // namespace
 
 StreamingContext::StreamingContext(SparkConf conf,
@@ -95,6 +226,14 @@ StreamingContext::~StreamingContext() { stop(); }
 DStream<std::string> StreamingContext::kafka_direct_stream(
     kafka::Broker& broker, const std::string& topic) {
   auto node = std::make_shared<KafkaDirectInputDStream>(
+      broker, topic, conf_.default_parallelism);
+  register_input(node);
+  return DStream<std::string>(this, node);
+}
+
+DStream<std::string> StreamingContext::kafka_receiver_stream(
+    kafka::Broker& broker, const std::string& topic) {
+  auto node = std::make_shared<KafkaReceiverInputDStream>(
       broker, topic, conf_.default_parallelism);
   register_input(node);
   return DStream<std::string>(this, node);

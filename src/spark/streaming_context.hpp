@@ -47,6 +47,15 @@ class StreamingContext {
   DStream<std::string> kafka_direct_stream(kafka::Broker& broker,
                                            const std::string& topic);
 
+  /// Receiver-based Kafka stream (the classic receiver style): a dedicated
+  /// receiver thread pulls record blocks from the broker into a lock-free
+  /// SPSC block queue; each batch drains the blocks that arrived since the
+  /// previous batch. The paper's queries use the direct stream; this input
+  /// exists for receiver-style workloads and exercises the ring-buffer
+  /// block queue end to end.
+  DStream<std::string> kafka_receiver_stream(kafka::Broker& broker,
+                                             const std::string& topic);
+
   /// Registers an output operation (used by DStream::foreach_rdd).
   void register_output(std::function<void(BatchId, SparkContext&)> op);
   void register_input(std::shared_ptr<InputDStreamBase> input);

@@ -55,9 +55,9 @@ template <typename T>
 T coder_round_trip(const CoderPtr& coder, const T& value) {
   Bytes bytes;
   BinaryWriter writer(bytes);
-  coder->encode(std::any{value}, writer);
+  coder->encode(Value{value}, writer);
   BinaryReader reader(bytes);
-  return std::any_cast<T>(coder->decode(reader));
+  return coder->decode(reader).get<T>();
 }
 
 TEST(CoderTest, StringRoundTrip) {

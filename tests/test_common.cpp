@@ -81,17 +81,27 @@ TEST(BoundedQueueTest, FifoOrder) {
   for (int i = 0; i < 5; ++i) EXPECT_EQ(queue.pop(), i);
 }
 
-TEST(BoundedQueueTest, TryPushFailsWhenFull) {
+TEST(BoundedQueueTest, TryPushDistinguishesFullFromClosed) {
   BoundedQueue<int> queue(2);
-  EXPECT_TRUE(queue.try_push(1));
-  EXPECT_TRUE(queue.try_push(2));
-  EXPECT_FALSE(queue.try_push(3));
+  EXPECT_EQ(queue.try_push(1), QueuePushResult::kOk);
+  EXPECT_EQ(queue.try_push(2), QueuePushResult::kOk);
+  EXPECT_EQ(queue.try_push(3), QueuePushResult::kFull);
   EXPECT_EQ(queue.size(), 2u);
+  queue.close();
+  EXPECT_EQ(queue.try_push(4), QueuePushResult::kClosed);
 }
 
-TEST(BoundedQueueTest, TryPopEmptyReturnsNullopt) {
+TEST(BoundedQueueTest, TryPopDistinguishesEmptyFromDrained) {
   BoundedQueue<int> queue(2);
-  EXPECT_EQ(queue.try_pop(), std::nullopt);
+  int out = -1;
+  EXPECT_EQ(queue.try_pop(out), QueuePopResult::kEmpty);
+  queue.push(7);
+  queue.close();
+  EXPECT_FALSE(queue.is_drained());
+  EXPECT_EQ(queue.try_pop(out), QueuePopResult::kOk);
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(queue.try_pop(out), QueuePopResult::kDrained);
+  EXPECT_TRUE(queue.is_drained());
 }
 
 TEST(BoundedQueueTest, CloseDrainsThenEnds) {
@@ -158,6 +168,141 @@ TEST(BoundedQueueTest, ConcurrentProducersConsumersDeliverExactlyOnce) {
   queue.close();
   for (auto& consumer : consumers) consumer.join();
   EXPECT_EQ(seen.size(), kProducers * kItemsEach);
+}
+
+TEST(BoundedQueueTest, BatchOpsPreserveFifoOrder) {
+  BoundedQueue<int> queue(64);
+  std::vector<int> first{0, 1, 2, 3, 4};
+  std::vector<int> second{5, 6, 7};
+  EXPECT_EQ(queue.push_batch(std::move(first)), 5u);
+  EXPECT_EQ(queue.push_batch(std::move(second)), 3u);
+  std::vector<int> out;
+  EXPECT_EQ(queue.pop_batch(out, 6), 6u);
+  EXPECT_EQ(queue.pop_batch(out, 100), 2u);
+  ASSERT_EQ(out.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+}
+
+TEST(BoundedQueueTest, PushBatchLargerThanCapacityStreamsThrough) {
+  BoundedQueue<int> queue(4);
+  std::vector<int> items(100);
+  for (int i = 0; i < 100; ++i) items[static_cast<std::size_t>(i)] = i;
+  std::thread pusher([&] {
+    EXPECT_EQ(queue.push_batch(std::move(items)), 100u);
+    queue.close();
+  });
+  std::vector<int> out;
+  while (queue.pop_batch(out, 16) > 0) {
+  }
+  pusher.join();
+  ASSERT_EQ(out.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+}
+
+TEST(BoundedQueueTest, CloseMidBatchDrainsAcceptedPrefix) {
+  BoundedQueue<int> queue(2);
+  std::vector<int> items{1, 2, 3, 4};
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.close();
+  });
+  // Only the first capacity-sized chunk fits before close() lands.
+  const std::size_t accepted = queue.push_batch(std::move(items));
+  closer.join();
+  EXPECT_EQ(accepted, 2u);
+  std::vector<int> out;
+  EXPECT_EQ(queue.pop_batch(out, 10), 2u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+  EXPECT_EQ(queue.pop_batch(out, 10), 0u);  // drained
+}
+
+TEST(BoundedQueueTest, PopBatchReturnsZeroWhenClosedEmpty) {
+  BoundedQueue<int> queue(4);
+  queue.close();
+  std::vector<int> out;
+  EXPECT_EQ(queue.pop_batch(out, 8), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+// --- SpscRingQueue ------------------------------------------------------------
+
+TEST(SpscRingQueueTest, RoundsCapacityToPowerOfTwo) {
+  SpscRingQueue<int> queue(100);
+  EXPECT_EQ(queue.capacity(), 128u);
+  EXPECT_THROW(SpscRingQueue<int>(0), std::invalid_argument);
+}
+
+TEST(SpscRingQueueTest, FifoOrderAndWrapAround) {
+  SpscRingQueue<int> queue(4);
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 3; ++i) EXPECT_TRUE(queue.push(round * 3 + i));
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(queue.pop(), round * 3 + i);
+  }
+}
+
+TEST(SpscRingQueueTest, TryOpsDistinguishStates) {
+  SpscRingQueue<int> queue(2);
+  int out = -1;
+  EXPECT_EQ(queue.try_pop(out), QueuePopResult::kEmpty);
+  EXPECT_EQ(queue.try_push(1), QueuePushResult::kOk);
+  EXPECT_EQ(queue.try_push(2), QueuePushResult::kOk);
+  EXPECT_EQ(queue.try_push(3), QueuePushResult::kFull);
+  queue.close();
+  EXPECT_EQ(queue.try_push(4), QueuePushResult::kClosed);
+  EXPECT_EQ(queue.try_pop(out), QueuePopResult::kOk);
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(queue.try_pop(out), QueuePopResult::kOk);
+  EXPECT_EQ(queue.try_pop(out), QueuePopResult::kDrained);
+  EXPECT_TRUE(queue.is_drained());
+}
+
+TEST(SpscRingQueueTest, CloseDrainsThenEnds) {
+  SpscRingQueue<int> queue(8);
+  queue.push(1);
+  queue.push(2);
+  queue.close();
+  EXPECT_FALSE(queue.push(3));
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+// Property: everything one thread pushes arrives exactly once, in order, at
+// the other thread, across single and batch operations mixed.
+TEST(SpscRingQueueTest, TwoThreadStressPreservesOrder) {
+  constexpr int kItems = 200000;
+  SpscRingQueue<int> queue(256);
+  std::thread producer([&] {
+    int next = 0;
+    while (next < kItems) {
+      if (next % 3 == 0) {
+        std::vector<int> batch;
+        const int n = std::min(64, kItems - next);
+        batch.reserve(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) batch.push_back(next + i);
+        ASSERT_EQ(queue.push_batch(std::move(batch)),
+                  static_cast<std::size_t>(n));
+        next += n;
+      } else {
+        ASSERT_TRUE(queue.push(next));
+        ++next;
+      }
+    }
+    queue.close();
+  });
+  int expected = 0;
+  std::vector<int> out;
+  for (;;) {
+    out.clear();
+    const std::size_t n = queue.pop_batch(out, 48);
+    if (n == 0) break;
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], expected);
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(expected, kItems);
 }
 
 // --- ThreadPool ----------------------------------------------------------------

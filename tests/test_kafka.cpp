@@ -457,6 +457,66 @@ TEST(ConsumerTest, MultiPartitionRoundRobinReadsEverything) {
   EXPECT_EQ(total, 30u);
 }
 
+TEST(ConsumerTest, PollBatchAdvancesOffsetsPerBatch) {
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  for (int i = 0; i < 25; ++i) {
+    broker.append({"t", 0}, ProducerRecord{.value = std::to_string(i)}, false)
+        .status()
+        .expect_ok();
+  }
+  Consumer consumer(broker, ConsumerConfig{.max_poll_records = 10});
+  consumer.subscribe("t").expect_ok();
+
+  std::int64_t expected_offset = 0;
+  std::vector<std::string> seen;
+  while (!consumer.at_end()) {
+    const auto batch = consumer.poll_batch(0);
+    ASSERT_FALSE(batch.empty());
+    EXPECT_EQ(batch.tp, (TopicPartition{"t", 0}));
+    EXPECT_EQ(batch.base_offset, expected_offset);
+    for (std::size_t i = 0; i < batch.records.size(); ++i) {
+      // Offsets inside the batch are dense from the base offset.
+      EXPECT_EQ(batch.records[i].offset,
+                batch.base_offset + static_cast<std::int64_t>(i));
+      seen.push_back(batch.records[i].value);
+    }
+    expected_offset += static_cast<std::int64_t>(batch.size());
+    EXPECT_EQ(consumer.positions().front().second, expected_offset);
+  }
+  ASSERT_EQ(seen.size(), 25u);
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)], std::to_string(i));
+  }
+  // Drained: a further non-blocking batch poll returns an empty batch.
+  EXPECT_TRUE(consumer.poll_batch(0).empty());
+}
+
+TEST(ConsumerTest, PollBatchRoundRobinsPartitions) {
+  Broker broker;
+  broker.create_topic("t", TopicConfig{.partitions = 3}).expect_ok();
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < 10; ++i) {
+      broker.append({"t", p}, ProducerRecord{.value = "v"}, false)
+          .status()
+          .expect_ok();
+    }
+  }
+  Consumer consumer(broker, ConsumerConfig{.max_poll_records = 100});
+  consumer.subscribe("t").expect_ok();
+  std::size_t total = 0;
+  while (!consumer.at_end()) {
+    const auto batch = consumer.poll_batch(0);
+    // Each batch is contiguous records of a single partition.
+    for (const auto& record : batch.records) {
+      EXPECT_EQ(record.offset - batch.base_offset,
+                &record - batch.records.data());
+    }
+    total += batch.size();
+  }
+  EXPECT_EQ(total, 30u);
+}
+
 TEST(ConsumerTest, GroupOffsetsResumeAfterRestart) {
   Broker broker;
   broker.create_topic("t", single_partition()).expect_ok();

@@ -228,6 +228,29 @@ TEST(DStreamTest, KafkaDirectStreamProcessesBatches) {
   EXPECT_EQ(seen.load(), 100);
 }
 
+TEST(DStreamTest, KafkaReceiverStreamProcessesBatches) {
+  kafka::Broker broker;
+  broker.create_topic("in", kafka::TopicConfig{.partitions = 1}).expect_ok();
+  for (int i = 0; i < 1500; ++i) {  // spans multiple receiver blocks
+    broker.append({"in", 0},
+                  kafka::ProducerRecord{.value = std::to_string(i)}, false)
+        .status()
+        .expect_ok();
+  }
+  StreamingContext ssc(SparkConf{.default_parallelism = 2}, 10);
+  auto evens = ssc.kafka_receiver_stream(broker, "in")
+                   .filter([](const std::string& s) {
+                     return std::stoi(s) % 2 == 0;
+                   });
+  std::atomic<int> seen{0};
+  evens.foreach_rdd([&seen](SparkContext& sc,
+                            const RDDPtr<std::string>& rdd) {
+    seen.fetch_add(static_cast<int>(sc.count(rdd)));
+  });
+  ASSERT_TRUE(ssc.run_bounded().is_ok());
+  EXPECT_EQ(seen.load(), 750);
+}
+
 TEST(DStreamTest, TransformationsComposePerBatch) {
   kafka::Broker broker;
   broker.create_topic("in", kafka::TopicConfig{.partitions = 1}).expect_ok();
