@@ -44,7 +44,7 @@ int main() {
         .apply(beam::KafkaIO::read(broker,
                                    beam::KafkaReadConfig{.topic = "in"}))
         .apply(beam::KafkaIO::without_metadata())
-        .apply(beam::Values<std::string>::create<std::string>())
+        .apply(beam::Values<runtime::Payload>::create<runtime::Payload>())
         .apply(beam::KafkaIO::write(broker,
                                     beam::KafkaWriteConfig{.topic = "out"}));
     beam::FlinkRunner runner(

@@ -76,7 +76,7 @@ void BM_SparkBoundedRun(benchmark::State& state) {
     auto lines = ssc.kafka_direct_stream(broker, "in");
     std::atomic<std::size_t> seen{0};
     lines.foreach_rdd([&seen](spark::SparkContext& sc,
-                              const spark::RDDPtr<std::string>& rdd) {
+                              const spark::RDDPtr<kafka::Payload>& rdd) {
       seen.fetch_add(sc.count(rdd));
     });
     ssc.run_bounded().expect_ok();
@@ -98,7 +98,7 @@ void apex_locality_run(apex::Locality locality, int records) {
     explicit IntInput(int n) : n_(n), out_(register_output()) {}
     bool emit_tuples(std::size_t budget) override {
       for (std::size_t b = 0; b < budget && next_ < n_; ++b) {
-        emit(out_, apex::make_tuple_of<std::string>(std::to_string(next_++)));
+        emit(out_, apex::make_tuple_of<runtime::Payload>(std::to_string(next_++)));
       }
       return next_ < n_;
     }
@@ -123,7 +123,7 @@ void apex_locality_run(apex::Locality locality, int records) {
       dag.add_operator("out", [] { return std::make_unique<NullSink>(); });
   dag.add_stream("s", apex::PortRef{in, 0}, apex::PortRef{out, 0}, locality,
                  locality == apex::Locality::kNodeLocal
-                     ? apex::string_codec()
+                     ? apex::payload_codec()
                      : apex::CodecFactory{});
   apex::launch_application(rm, dag, apex::EngineConfig{}).status().expect_ok();
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "runtime/metrics.hpp"
 
 namespace {
 
@@ -122,7 +123,11 @@ int main() {
                  slowdowns[i].factor,
                  i + 1 < slowdowns.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  // Unified substrate metrics: every engine published its per-job snapshot
+  // into the process-wide registry (prefixed flink./spark./apex.), so one
+  // snapshot covers all 12 setups through one schema.
+  std::fprintf(out, "  ],\n  \"metrics\": %s\n}\n",
+               runtime::MetricsRegistry::global().snapshot().to_json().c_str());
   std::fclose(out);
   std::printf("\nwrote %s\n", path);
   return 0;

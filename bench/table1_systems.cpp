@@ -30,7 +30,7 @@ int main() {
       "  * Spark-sim: a record is only processed when its micro-batch\n"
       "    fires, never earlier (StreamingContext batch history);\n"
       "  * Apex-sim: operators deploy into YARN containers whose count the\n"
-      "    physical plan reports (apex::ApplicationStats).\n"
+      "    physical plan reports (unified metrics snapshots).\n"
       "All three engines process each record exactly once in the benchmark\n"
       "configuration; the 24-setup correctness matrix in tests/test_queries\n"
       "pins that property.\n");

@@ -40,17 +40,18 @@ int main() {
   const int input = dag.add_input_operator(
       "clickReader", apex::kafka_input_factory(broker, "clicks"));
   const int filter = dag.add_operator(
-      "landingPageOnly", apex::filter_string_factory([](const std::string& s) {
-        return s.ends_with("page0");
+      "landingPageOnly",
+      apex::filter_payload_factory([](const runtime::Payload& s) {
+        return s.view().ends_with("page0");
       }));
   const int enrich = dag.add_operator(
-      "tagAlert", apex::map_string_factory([](const std::string& s) {
-        return "ALERT\t" + s;
+      "tagAlert", apex::map_payload_factory([](const runtime::Payload& s) {
+        return runtime::Payload("ALERT\t" + s.str());
       }));
   const int output = dag.add_operator(
       "alertWriter",
       apex::kafka_output_factory(
-          broker, apex::KafkaStringOutput::Config{.topic = "alerts"}));
+          broker, apex::KafkaPayloadOutput::Config{.topic = "alerts"}));
 
   // Reader+filter fused THREAD_LOCAL; enrich partitioned 2-way in the same
   // container; the writer crosses a container boundary (serialized).
@@ -62,7 +63,7 @@ int main() {
                  {});
   dag.add_stream("alerts", apex::PortRef{enrich, 0},
                  apex::PortRef{output, 0}, apex::Locality::kNodeLocal,
-                 apex::string_codec());
+                 apex::payload_codec());
 
   auto plan = apex::render_physical_plan(dag);
   plan.status().expect_ok();
@@ -70,14 +71,21 @@ int main() {
 
   auto stats = apex::launch_application(rm, dag, apex::EngineConfig{});
   stats.status().expect_ok();
+  const runtime::MetricsSnapshot& metrics = stats.value();
   std::printf("=== application finished ===\n");
-  std::printf("  duration:        %.2f ms\n", stats.value().duration_ms);
-  std::printf("  containers used: %d\n", stats.value().containers_used);
-  std::printf("  thread groups:   %d\n", stats.value().thread_groups);
+  std::printf("  duration:        %.2f ms\n", metrics.gauge("app.duration_ms"));
+  std::printf("  containers used: %d\n",
+              static_cast<int>(metrics.gauge("app.containers")));
+  std::printf("  thread groups:   %d\n",
+              static_cast<int>(metrics.gauge("app.thread_groups")));
   std::printf("  stream windows:  %lld\n",
-              static_cast<long long>(stats.value().windows_emitted));
-  for (const auto& [name, tuples] : stats.value().tuples_in) {
-    std::printf("  tuples into %-16s %llu\n", (name + ":").c_str(),
+              static_cast<long long>(metrics.counter("windows.emitted")));
+  for (const auto& [name, tuples] :
+       metrics.counters_with_prefix("operator.")) {
+    if (!name.ends_with(".tuples_in")) continue;
+    const std::string op =
+        name.substr(9, name.size() - 9 - 10);  // strip prefix + suffix
+    std::printf("  tuples into %-16s %llu\n", (op + ":").c_str(),
                 static_cast<unsigned long long>(tuples));
   }
   std::printf("  alerts written:  %lld\n",

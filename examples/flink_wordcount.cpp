@@ -89,6 +89,7 @@ int main() {
     std::printf("  %-10s %d\n", word.c_str(), count);
   }
   std::printf("\njob ran in %.2f ms across %zu job vertices\n",
-              result.value().duration_ms, result.value().vertices.size());
+              result.value().duration_ms,
+              result.value().vertex_names.size());
   return 0;
 }

@@ -23,14 +23,14 @@ void build(beam::Pipeline& pipeline, kafka::Broker& broker) {
   pipeline
       .apply(beam::KafkaIO::read(broker, beam::KafkaReadConfig{.topic = "in"}))
       .apply(beam::KafkaIO::without_metadata())
-      .apply(beam::Values<std::string>::create<std::string>())
-      .apply(beam::Filter<std::string>::by(
-          [](const std::string& line) {
-            return line.find("stream") != std::string::npos;
+      .apply(beam::Values<runtime::Payload>::create<runtime::Payload>())
+      .apply(beam::Filter<runtime::Payload>::by(
+          [](const runtime::Payload& line) {
+            return line.view().find("stream") != std::string_view::npos;
           },
           "KeepStreamy"))
-      .apply(beam::MapElements<std::string, std::string>::via(
-          [](const std::string& line) { return "match: " + line; },
+      .apply(beam::MapElements<runtime::Payload, std::string>::via(
+          [](const runtime::Payload& line) { return "match: " + line.str(); },
           "Tag"))
       .apply(
           beam::KafkaIO::write(broker, beam::KafkaWriteConfig{.topic = "out"}));
@@ -83,7 +83,7 @@ int main() {
     std::vector<kafka::StoredRecord> out;
     broker.fetch({"out", 0}, 0, 100, out).status().expect_ok();
     for (const auto& record : out) {
-      std::printf("  %s\n", record.value.c_str());
+      std::printf("  %s\n", record.value.str().c_str());
     }
   }
   std::printf("\nSame pipeline, four runtimes — that is the substitution-"

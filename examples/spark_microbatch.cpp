@@ -25,13 +25,16 @@ int main() {
       /*batch_interval_ms=*/25);
 
   // events "<region>:<amount>" -> per-batch revenue per region.
-  auto per_region = reduce_by_key<std::string, int>(
+  auto per_region = spark::reduce_by_key<std::string, int>(
       ssc.kafka_direct_stream(broker, "events")
-          .map<std::pair<std::string, int>>([](const std::string& event) {
-            const auto colon = event.find(':');
-            return std::make_pair(event.substr(0, colon),
-                                  std::stoi(event.substr(colon + 1)));
-          }),
+          .map<std::pair<std::string, int>>(
+              [](const kafka::Payload& event) {
+                const auto line = event.view();
+                const auto colon = line.find(':');
+                return std::make_pair(
+                    std::string(line.substr(0, colon)),
+                    std::stoi(std::string(line.substr(colon + 1))));
+              }),
       [](const int& a, const int& b) { return a + b; },
       /*partitions=*/2);
 
@@ -66,12 +69,17 @@ int main() {
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
   ssc.stop();
 
-  std::printf("\n=== batch history ===\n");
-  for (const auto& batch : ssc.batch_history()) {
-    if (batch.input_records == 0) continue;
-    std::printf("  batch %lld: %zu records, processed in %.2f ms\n",
-                static_cast<long long>(batch.id), batch.input_records,
-                batch.processing_ms);
+  const runtime::MetricsSnapshot snapshot = ssc.metrics();
+  std::printf("\n=== streaming metrics ===\n");
+  std::printf("  batches run:    %llu\n",
+              static_cast<unsigned long long>(snapshot.counter("batch.count")));
+  std::printf("  input records:  %llu\n",
+              static_cast<unsigned long long>(
+                  snapshot.counter("input.records")));
+  const auto duration = snapshot.histograms.find("batch.duration_us");
+  if (duration != snapshot.histograms.end()) {
+    std::printf("  batch time:     %.2f ms total\n",
+                static_cast<double>(duration->second.sum_us) / 1000.0);
   }
   return 0;
 }

@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
     broker.fetch({"output", 0}, 0, 100000, out).status().expect_ok();
     std::printf("  %zu rows", out.size());
     for (std::size_t i = 0; i < out.size() && i < 5; ++i) {
-      std::printf("\n    %s", out[i].value.c_str());
+      std::printf("\n    %s", out[i].value.str().c_str());
     }
     if (out.size() > 5) std::printf("\n    ...");
     std::printf("\n\n");

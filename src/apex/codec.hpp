@@ -10,6 +10,7 @@
 
 #include "common/bytes.hpp"
 #include "apex/operator.hpp"
+#include "runtime/payload.hpp"
 
 namespace dsps::apex {
 
@@ -22,26 +23,30 @@ class StreamCodec {
 
 using CodecFactory = std::function<std::unique_ptr<StreamCodec>()>;
 
-/// Codec for plain std::string tuples (the native queries' record type).
-class StringCodec final : public StreamCodec {
+/// Codec for runtime::Payload tuples (the native queries' record type).
+/// Crossing a container boundary forfeits zero-copy on purpose: the
+/// payload's bytes are copied into the wire buffer and the consumer side
+/// materializes a fresh owning payload, so NODE_LOCAL placement costs real
+/// encode/decode work exactly as in Apex proper.
+class PayloadCodec final : public StreamCodec {
  public:
   Bytes serialize(const Tuple& tuple) const override {
-    const auto& value = tuple_cast<std::string>(tuple);
+    const auto& value = tuple_cast<runtime::Payload>(tuple);
     Bytes out;
     out.reserve(value.size() + 4);
     BinaryWriter writer(out);
-    writer.write_string(value);
+    writer.write_string(value.view());
     return out;
   }
 
   Tuple deserialize(const Bytes& bytes) const override {
     BinaryReader reader(bytes);
-    return make_tuple_of<std::string>(reader.read_string());
+    return make_tuple_of<runtime::Payload>(reader.read_string());
   }
 };
 
-inline CodecFactory string_codec() {
-  return [] { return std::make_unique<StringCodec>(); };
+inline CodecFactory payload_codec() {
+  return [] { return std::make_unique<PayloadCodec>(); };
 }
 
 }  // namespace dsps::apex

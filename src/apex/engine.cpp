@@ -4,11 +4,11 @@
 #include <atomic>
 #include <memory>
 #include <set>
-#include <thread>
 #include <utility>
 
 #include "common/clock.hpp"
 #include "common/queue.hpp"
+#include "runtime/task_runtime.hpp"
 
 namespace dsps::apex {
 
@@ -178,6 +178,8 @@ struct OutputBatcher {
 
   static void flush_target(Target& target) {
     if (target.pending.empty()) return;
+    // A short push_batch means the abort path closed the mailbox; dropping
+    // the remainder is fine — the job is already failing.
     target.mailbox->push_batch(std::move(target.pending));
     target.pending.clear();
     target.pending.reserve(kMailBatch);
@@ -227,9 +229,9 @@ Result<std::string> render_physical_plan(const Dag& dag) {
   return out;
 }
 
-Result<ApplicationStats> launch_application(yarn::ResourceManager& rm,
-                                            const Dag& dag,
-                                            const EngineConfig& config) {
+Result<runtime::MetricsSnapshot> launch_application(yarn::ResourceManager& rm,
+                                                    const Dag& dag,
+                                                    const EngineConfig& config) {
   if (Status s = dag.validate(); !s.is_ok()) return s;
   const PhysicalPlan plan = build_physical_plan(dag);
 
@@ -241,12 +243,15 @@ Result<ApplicationStats> launch_application(yarn::ResourceManager& rm,
     operators.push_back(node.factory());
   }
 
-  // Per-node delivery counters.
-  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> tuples_in;
-  for (std::size_t n = 0; n < dag.nodes().size(); ++n) {
-    tuples_in.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  // Per-node delivery counters in the unified registry. Counter handles are
+  // sharded internally, so every group thread adds without contention.
+  runtime::MetricsRegistry registry;
+  std::vector<runtime::Counter> tuples_in;
+  for (const auto& node : dag.nodes()) {
+    tuples_in.push_back(
+        registry.counter("operator." + node.name + ".tuples_in"));
   }
-  std::atomic<std::int64_t> windows_emitted{0};
+  runtime::Counter windows_emitted = registry.counter("windows.emitted");
 
   // Group runtimes.
   std::vector<GroupRuntime> groups(plan.groups.size());
@@ -330,7 +335,7 @@ Result<ApplicationStats> launch_application(yarn::ResourceManager& rm,
           plan.by_node_partition.at({stream.from.node, pf});
       Operator* producer =
           operators[static_cast<std::size_t>(producer_instance)].get();
-      auto* counter = tuples_in[static_cast<std::size_t>(to.id)].get();
+      runtime::Counter counter = tuples_in[static_cast<std::size_t>(to.id)];
 
       if (stream.locality == Locality::kThreadLocal) {
         const int consumer_instance =
@@ -339,9 +344,8 @@ Result<ApplicationStats> launch_application(yarn::ResourceManager& rm,
             operators[static_cast<std::size_t>(consumer_instance)].get();
         const int port = stream.to.port;
         producer->bind_output(stream.from.port,
-                              [consumer, port, counter](Tuple tuple) {
-                                counter->fetch_add(
-                                    1, std::memory_order_relaxed);
+                              [consumer, port, counter](Tuple tuple) mutable {
+                                counter.add();
                                 consumer->deliver(port, std::move(tuple));
                               });
         continue;
@@ -377,11 +381,11 @@ Result<ApplicationStats> launch_application(yarn::ResourceManager& rm,
       producer->bind_output(
           stream.from.port,
           [target_instances, router, batcher, pairwise, serialize, codec,
-           port, pf, counter, codec_index](Tuple tuple) {
+           port, pf, counter, codec_index](Tuple tuple) mutable {
             const std::size_t pick =
                 pairwise ? static_cast<std::size_t>(pf)
                          : router->round_robin++ % target_instances.size();
-            counter->fetch_add(1, std::memory_order_relaxed);
+            counter.add();
             Mail mail;
             mail.kind = Mail::Kind::kData;
             mail.target_instance = target_instances[pick];
@@ -434,6 +438,19 @@ Result<ApplicationStats> launch_application(yarn::ResourceManager& rm,
   }
 
   // --- group thread bodies --------------------------------------------------
+  // Supervised lifecycle: every group thread runs under the application's
+  // TaskRuntime. A throwing operator fails the app — the handler trips the
+  // abort flag (stops input loops) and closes every mailbox (unwedges
+  // blocked producers and consumers) — and join_all() surfaces the Status.
+  runtime::TaskRuntime tasks("apex-app");
+  std::atomic<bool> aborted{false};
+  tasks.set_failure_handler([&groups, &aborted](const Status& /*failure*/) {
+    aborted.store(true, std::memory_order_release);
+    for (auto& group : groups) {
+      if (group.mailbox) group.mailbox->close();
+    }
+  });
+
   auto send_markers = [](GroupRuntime& group, Mail::Kind kind,
                          WindowId window) {
     // Ship staged data first so every consumer sees a window's tuples
@@ -443,7 +460,9 @@ Result<ApplicationStats> launch_application(yarn::ResourceManager& rm,
       Mail mail;
       mail.kind = kind;
       mail.window = window;
-      target.mailbox->push(std::move(mail));
+      // push() fails only when the abort path closed the mailboxes; the
+      // consumers are already unwinding and no marker can matter.
+      if (!target.mailbox->push(std::move(mail))) return;
     }
   };
 
@@ -454,13 +473,13 @@ Result<ApplicationStats> launch_application(yarn::ResourceManager& rm,
     if (group.is_input) {
       WindowId window = 0;
       bool more = true;
-      while (more) {
+      while (more && !aborted.load(std::memory_order_acquire)) {
         for (auto* op : group.operators) op->begin_window(window);
         send_markers(group, Mail::Kind::kBeginWindow, window);
         more = group.input->emit_tuples(config.window_tuple_budget);
         for (auto* op : group.operators) op->end_window();
         send_markers(group, Mail::Kind::kEndWindow, window);
-        windows_emitted.fetch_add(1, std::memory_order_relaxed);
+        windows_emitted.add();
         ++window;
       }
       for (auto* op : group.operators) op->end_stream();
@@ -570,13 +589,18 @@ Result<ApplicationStats> launch_application(yarn::ResourceManager& rm,
         }
         for (std::size_t c = 0; c < yarn_containers.size(); ++c) {
           const auto& group_list = container_groups[c];
+          // The container body spawns its thread groups under the app's
+          // TaskRuntime (named, failure-supervised) and waits for them, so
+          // am.await() below retains its "container work done" meaning.
           Status launched = am.launch(yarn_containers[c], [&, group_list] {
-            std::vector<std::thread> threads;
+            std::vector<runtime::TaskRuntime::TaskId> ids;
+            ids.reserve(group_list.size());
             for (const int g : group_list) {
-              threads.emplace_back(
-                  [&, g] { group_body(groups[static_cast<std::size_t>(g)]); });
+              ids.push_back(tasks.spawn(
+                  "apx-g" + std::to_string(g),
+                  [&, g] { group_body(groups[static_cast<std::size_t>(g)]); }));
             }
-            for (auto& thread : threads) thread.join();
+            for (const auto id : ids) tasks.wait(id);
           });
           if (!launched.is_ok()) failure = launched;
         }
@@ -587,18 +611,16 @@ Result<ApplicationStats> launch_application(yarn::ResourceManager& rm,
       });
   if (!app_id.is_ok()) return app_id.status();
   rm.await_application(app_id.value());
+  if (Status joined = tasks.join_all(); !joined.is_ok()) return joined;
   if (!failure.is_ok()) return failure;
 
-  ApplicationStats stats;
-  stats.duration_ms = watch.elapsed_ms();
-  stats.containers_used = plan.container_count;
-  stats.thread_groups = static_cast<int>(plan.groups.size());
-  stats.windows_emitted = windows_emitted.load();
-  for (const auto& node : dag.nodes()) {
-    stats.tuples_in[node.name] =
-        tuples_in[static_cast<std::size_t>(node.id)]->load();
-  }
-  return stats;
+  registry.gauge("app.duration_ms").set(watch.elapsed_ms());
+  registry.gauge("app.containers").set(plan.container_count);
+  registry.gauge("app.thread_groups")
+      .set(static_cast<double>(plan.groups.size()));
+  runtime::MetricsSnapshot snapshot = registry.snapshot();
+  runtime::MetricsRegistry::global().merge(snapshot, "apex.");
+  return snapshot;
 }
 
 }  // namespace dsps::apex

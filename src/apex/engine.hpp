@@ -13,13 +13,12 @@
 // Apex observations.
 #pragma once
 
-#include <cstdint>
-#include <map>
+#include <cstddef>
 #include <string>
-#include <vector>
 
 #include "common/status.hpp"
 #include "apex/dag.hpp"
+#include "runtime/metrics.hpp"
 #include "yarn/resource_manager.hpp"
 
 namespace dsps::apex {
@@ -33,20 +32,20 @@ struct EngineConfig {
   int memory_mb_per_instance = 256;
 };
 
-struct ApplicationStats {
-  double duration_ms = 0.0;
-  int containers_used = 0;
-  int thread_groups = 0;
-  std::int64_t windows_emitted = 0;
-  /// Tuples delivered into each logical operator (by node name).
-  std::map<std::string, std::uint64_t> tuples_in;
-};
-
-/// Validates, deploys via the ResourceManager, runs to completion
-/// (bounded input operators), and reports stats.
-Result<ApplicationStats> launch_application(yarn::ResourceManager& rm,
-                                            const Dag& dag,
-                                            const EngineConfig& config);
+/// Validates, deploys via the ResourceManager, runs to completion (bounded
+/// input operators), and reports through the unified metrics schema:
+///   counters   operator.<name>.tuples_in  tuples delivered into each
+///                                         logical operator
+///              windows.emitted            streaming windows completed
+///   gauges     app.duration_ms            wall-clock run time
+///              app.containers             containers in the physical plan
+///              app.thread_groups          thread groups in the physical plan
+/// The snapshot is also merged into MetricsRegistry::global() under the
+/// "apex." prefix. A group thread that throws fails the application: the
+/// engine aborts the remaining groups and returns the captured Status.
+Result<runtime::MetricsSnapshot> launch_application(yarn::ResourceManager& rm,
+                                                    const Dag& dag,
+                                                    const EngineConfig& config);
 
 /// Renders the physical plan (instances, thread groups, containers) for
 /// inspection — the Apex analogue of the Fig. 12/13 plan dumps.

@@ -4,10 +4,12 @@
 
 namespace dsps::apex {
 
-KafkaStringInput::KafkaStringInput(kafka::Broker& broker, std::string topic)
+using runtime::Payload;
+
+KafkaPayloadInput::KafkaPayloadInput(kafka::Broker& broker, std::string topic)
     : broker_(broker), topic_(std::move(topic)), out_(register_output()) {}
 
-void KafkaStringInput::setup(const OperatorContext& /*context*/) {
+void KafkaPayloadInput::setup(const OperatorContext& /*context*/) {
   consumer_ = std::make_unique<kafka::Consumer>(
       broker_, kafka::ConsumerConfig{.max_poll_records = 2048});
   const auto partitions = broker_.partition_count(topic_);
@@ -21,13 +23,15 @@ void KafkaStringInput::setup(const OperatorContext& /*context*/) {
   }
 }
 
-bool KafkaStringInput::emit_tuples(std::size_t budget) {
+bool KafkaPayloadInput::emit_tuples(std::size_t budget) {
   std::size_t emitted = 0;
   while (emitted < budget) {
     auto batch = consumer_->poll_batch(/*timeout_ms=*/0);
     if (batch.empty()) break;
     for (auto& record : batch.records) {
-      emit(out_, make_tuple_of<std::string>(std::move(record.value)));
+      // The record's value is already a refcounted slice of the broker's
+      // storage; moving it into the tuple copies no bytes.
+      emit(out_, make_tuple_of<Payload>(std::move(record.value)));
       ++emitted;
     }
   }
@@ -38,32 +42,32 @@ bool KafkaStringInput::emit_tuples(std::size_t budget) {
   return false;
 }
 
-KafkaStringOutput::KafkaStringOutput(kafka::Broker& broker, Config config)
+KafkaPayloadOutput::KafkaPayloadOutput(kafka::Broker& broker, Config config)
     : broker_(broker),
       config_(std::move(config)),
       in_(register_input([this](const Tuple& tuple) { on_tuple(tuple); })) {}
 
-void KafkaStringOutput::setup(const OperatorContext& /*context*/) {
+void KafkaPayloadOutput::setup(const OperatorContext& /*context*/) {
   producer_ = std::make_unique<kafka::Producer>(
       broker_, kafka::ProducerConfig{.acks = config_.acks,
                                      .batch_size = config_.batch_size});
 }
 
-void KafkaStringOutput::on_tuple(const Tuple& tuple) {
+void KafkaPayloadOutput::on_tuple(const Tuple& tuple) {
   producer_
       ->send(config_.topic, config_.partition,
              kafka::ProducerRecord{.key = {},
-                                   .value = tuple_cast<std::string>(tuple)})
+                                   .value = tuple_cast<Payload>(tuple)})
       .expect_ok();
 }
 
-void KafkaStringOutput::end_window() {
+void KafkaPayloadOutput::end_window() {
   // Apex output operators typically flush at window boundaries; with
   // batch_size == 1 every tuple has already gone out synchronously.
   if (producer_) producer_->flush().expect_ok();
 }
 
-void KafkaStringOutput::teardown() {
+void KafkaPayloadOutput::teardown() {
   if (producer_) producer_->close().expect_ok();
 }
 
@@ -76,45 +80,45 @@ FunctionOperator::FunctionOperator(Fn fn)
 
 OperatorFactory kafka_input_factory(kafka::Broker& broker, std::string topic) {
   return [&broker, topic] {
-    return std::make_unique<KafkaStringInput>(broker, topic);
+    return std::make_unique<KafkaPayloadInput>(broker, topic);
   };
 }
 
 OperatorFactory kafka_output_factory(kafka::Broker& broker,
-                                     KafkaStringOutput::Config config) {
+                                     KafkaPayloadOutput::Config config) {
   return [&broker, config] {
-    return std::make_unique<KafkaStringOutput>(broker, config);
+    return std::make_unique<KafkaPayloadOutput>(broker, config);
   };
 }
 
-OperatorFactory map_string_factory(
-    std::function<std::string(const std::string&)> fn) {
+OperatorFactory map_payload_factory(
+    std::function<Payload(const Payload&)> fn) {
   return [fn = std::move(fn)] {
     return std::make_unique<FunctionOperator>(
         [fn](const Tuple& tuple, const std::function<void(Tuple)>& emit) {
-          emit(make_tuple_of<std::string>(fn(tuple_cast<std::string>(tuple))));
+          emit(make_tuple_of<Payload>(fn(tuple_cast<Payload>(tuple))));
         });
   };
 }
 
-OperatorFactory filter_string_factory(
-    std::function<bool(const std::string&)> predicate) {
+OperatorFactory filter_payload_factory(
+    std::function<bool(const Payload&)> predicate) {
   return [predicate = std::move(predicate)] {
     return std::make_unique<FunctionOperator>(
         [predicate](const Tuple& tuple,
                     const std::function<void(Tuple)>& emit) {
-          if (predicate(tuple_cast<std::string>(tuple))) emit(tuple);
+          if (predicate(tuple_cast<Payload>(tuple))) emit(tuple);
         });
   };
 }
 
-OperatorFactory flat_map_string_factory(
-    std::function<std::vector<std::string>(const std::string&)> fn) {
+OperatorFactory flat_map_payload_factory(
+    std::function<std::vector<Payload>(const Payload&)> fn) {
   return [fn = std::move(fn)] {
     return std::make_unique<FunctionOperator>(
         [fn](const Tuple& tuple, const std::function<void(Tuple)>& emit) {
-          for (auto& value : fn(tuple_cast<std::string>(tuple))) {
-            emit(make_tuple_of<std::string>(std::move(value)));
+          for (auto& value : fn(tuple_cast<Payload>(tuple))) {
+            emit(make_tuple_of<Payload>(std::move(value)));
           }
         });
   };

@@ -1,6 +1,12 @@
 // Malhar-like operator library: Kafka connectors and functional compute
 // operators (§II-D: "Apex Malhar ... contains different input/output
 // operators and compute operators", including Kafka connectors).
+//
+// Tuples are runtime::Payload slices: the Kafka input operator adopts the
+// broker record's storage without copying, and every THREAD_LOCAL /
+// CONTAINER_LOCAL hop moves only the refcounted handle. Bytes are copied
+// exactly where Apex copies them — at serialized NODE_LOCAL boundaries
+// (see PayloadCodec) and when a compute operator materializes a new value.
 #pragma once
 
 #include <functional>
@@ -12,14 +18,16 @@
 #include "kafka/broker.hpp"
 #include "kafka/consumer.hpp"
 #include "kafka/producer.hpp"
+#include "runtime/payload.hpp"
 
 namespace dsps::apex {
 
-/// Bounded Kafka string input: reads the whole topic as it stood at setup
-/// and finishes. Output port 0 emits std::string tuples.
-class KafkaStringInput final : public InputOperator {
+/// Bounded Kafka input: reads the whole topic as it stood at setup and
+/// finishes. Output port 0 emits runtime::Payload tuples sharing the
+/// broker's storage.
+class KafkaPayloadInput final : public InputOperator {
  public:
-  KafkaStringInput(kafka::Broker& broker, std::string topic);
+  KafkaPayloadInput(kafka::Broker& broker, std::string topic);
 
   void setup(const OperatorContext& context) override;
   bool emit_tuples(std::size_t budget) override;
@@ -34,8 +42,9 @@ class KafkaStringInput final : public InputOperator {
   std::vector<std::int64_t> bounded_end_;
 };
 
-/// Kafka string output with configurable producer batching. Input port 0.
-class KafkaStringOutput final : public Operator {
+/// Kafka output with configurable producer batching. Input port 0 accepts
+/// runtime::Payload tuples.
+class KafkaPayloadOutput final : public Operator {
  public:
   struct Config {
     std::string topic;
@@ -46,7 +55,7 @@ class KafkaStringOutput final : public Operator {
     std::size_t batch_size = 500;
   };
 
-  KafkaStringOutput(kafka::Broker& broker, Config config);
+  KafkaPayloadOutput(kafka::Broker& broker, Config config);
 
   void setup(const OperatorContext& context) override;
   void end_window() override;
@@ -83,12 +92,12 @@ class FunctionOperator final : public Operator {
 /// Convenience factories.
 OperatorFactory kafka_input_factory(kafka::Broker& broker, std::string topic);
 OperatorFactory kafka_output_factory(kafka::Broker& broker,
-                                     KafkaStringOutput::Config config);
-OperatorFactory map_string_factory(
-    std::function<std::string(const std::string&)> fn);
-OperatorFactory filter_string_factory(
-    std::function<bool(const std::string&)> predicate);
-OperatorFactory flat_map_string_factory(
-    std::function<std::vector<std::string>(const std::string&)> fn);
+                                     KafkaPayloadOutput::Config config);
+OperatorFactory map_payload_factory(
+    std::function<runtime::Payload(const runtime::Payload&)> fn);
+OperatorFactory filter_payload_factory(
+    std::function<bool(const runtime::Payload&)> predicate);
+OperatorFactory flat_map_payload_factory(
+    std::function<std::vector<runtime::Payload>(const runtime::Payload&)> fn);
 
 }  // namespace dsps::apex

@@ -35,6 +35,21 @@ class StringUtf8Coder final : public Coder {
   std::string name() const override { return "StringUtf8Coder"; }
 };
 
+/// Coder for runtime::Payload values. Encoding copies the payload's bytes
+/// into the wire buffer and decoding materializes a fresh owning payload —
+/// a serialized hop pays real per-byte work even though in-memory hops
+/// share storage, preserving the abstraction cost under measurement.
+class PayloadCoder final : public Coder {
+ public:
+  void encode(const Value& value, BinaryWriter& out) const override {
+    out.write_string(value.get<runtime::Payload>().view());
+  }
+  Value decode(BinaryReader& in) const override {
+    return runtime::Payload(in.read_string());
+  }
+  std::string name() const override { return "PayloadCoder"; }
+};
+
 class VarIntCoder final : public Coder {
  public:
   void encode(const Value& value, BinaryWriter& out) const override {
@@ -99,6 +114,11 @@ struct CoderTraits;
 template <>
 struct CoderTraits<std::string> {
   static CoderPtr of() { return std::make_shared<StringUtf8Coder>(); }
+};
+
+template <>
+struct CoderTraits<runtime::Payload> {
+  static CoderPtr of() { return std::make_shared<PayloadCoder>(); }
 };
 
 template <>

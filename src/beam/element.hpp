@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "runtime/payload.hpp"
 
 namespace dsps::beam {
 
@@ -63,9 +64,9 @@ concept KvElement = requires {
 };
 
 /// Type-erased element payload. The payload types the translated queries
-/// move in bulk — strings, string KV pairs, and the numeric scalars — are
-/// stored inline in a variant; any other type falls back to std::any,
-/// paying the heap boxing every payload used to pay.
+/// move in bulk — refcounted Payload slices, strings, KV pairs, and the
+/// numeric scalars — are stored inline in a variant; any other type falls
+/// back to std::any, paying the heap boxing every payload used to pay.
 class Value {
  public:
   Value() = default;
@@ -102,6 +103,8 @@ class Value {
   static constexpr bool kInline =
       std::is_same_v<T, std::string> ||
       std::is_same_v<T, KV<std::string, std::string>> ||
+      std::is_same_v<T, runtime::Payload> ||
+      std::is_same_v<T, KV<runtime::Payload, runtime::Payload>> ||
       std::is_same_v<T, std::int64_t> || std::is_same_v<T, double>;
 
   template <typename T>
@@ -115,6 +118,7 @@ class Value {
   }
 
   std::variant<std::monostate, std::string, KV<std::string, std::string>,
+               runtime::Payload, KV<runtime::Payload, runtime::Payload>,
                std::int64_t, double, std::any>
       storage_;
 };

@@ -17,8 +17,8 @@ class KafkaRecordCoder final : public Coder {
     out.write_u32(static_cast<std::uint32_t>(record.partition));
     out.write_i64(record.offset);
     out.write_i64(record.timestamp);
-    out.write_string(record.key);
-    out.write_string(record.value);
+    out.write_string(record.key.view());
+    out.write_string(record.value.view());
   }
   Value decode(BinaryReader& in) const override {
     KafkaRecord record;
@@ -26,8 +26,8 @@ class KafkaRecordCoder final : public Coder {
     record.partition = static_cast<int>(in.read_u32());
     record.offset = in.read_i64();
     record.timestamp = in.read_i64();
-    record.key = in.read_string();
-    record.value = in.read_string();
+    record.key = runtime::Payload(in.read_string());
+    record.value = runtime::Payload(in.read_string());
     return record;
   }
   std::string name() const override { return "KafkaRecordCoder"; }
@@ -37,13 +37,13 @@ class ProducerRecordStubCoder final : public Coder {
  public:
   void encode(const Value& value, BinaryWriter& out) const override {
     const auto& record = value.get<ProducerRecordStub>();
-    out.write_string(record.key);
-    out.write_string(record.value);
+    out.write_string(record.key.view());
+    out.write_string(record.value.view());
   }
   Value decode(BinaryReader& in) const override {
     ProducerRecordStub record;
-    record.key = in.read_string();
-    record.value = in.read_string();
+    record.key = runtime::Payload(in.read_string());
+    record.value = runtime::Payload(in.read_string());
     return record;
   }
   std::string name() const override { return "ProducerRecordStubCoder"; }
@@ -81,9 +81,10 @@ class KafkaSourceReader final : public SourceReader {
     }
     auto& record = batch_.records[buffer_index_++];
     // The raw element: the full record with metadata, stamped with the
-    // record's broker timestamp (Beam's event time for KafkaIO). Strings
-    // move out of the fetch batch; the metadata wrapping (and its coder)
-    // stays — that is the abstraction cost under measurement.
+    // record's broker timestamp (Beam's event time for KafkaIO). Payload
+    // slices move out of the fetch batch still sharing the broker's
+    // storage; the metadata wrapping (and its coder) stays — that is the
+    // abstraction cost under measurement.
     out.value = KafkaRecord{.topic = batch_.tp.topic,
                             .partition = batch_.tp.partition,
                             .offset = record.offset,
@@ -199,29 +200,49 @@ PCollection<KafkaRecord> KafkaReadTransform::expand(Pipeline& pipeline) const {
   return expanded;
 }
 
-PCollection<KV<std::string, std::string>> WithoutMetadataTransform::expand(
-    const PCollection<KafkaRecord>& input) const {
-  return MapElements<KafkaRecord, KV<std::string, std::string>>::via(
+PCollection<KV<runtime::Payload, runtime::Payload>>
+WithoutMetadataTransform::expand(const PCollection<KafkaRecord>& input) const {
+  return MapElements<KafkaRecord, KV<runtime::Payload, runtime::Payload>>::via(
              [](const KafkaRecord& record) {
-               return KV<std::string, std::string>{record.key, record.value};
+               // Refcount bumps only: key/value still reference the
+               // broker's storage.
+               return KV<runtime::Payload, runtime::Payload>{record.key,
+                                                             record.value};
              },
              "KafkaIO.Read/WithoutMetadata")
       .expand(input);
 }
 
-PCollection<std::int64_t> KafkaWriteTransform::expand(
-    const PCollection<std::string>& input) const {
-  auto producer_records =
-      MapElements<std::string, ProducerRecordStub>::via(
-          [](const std::string& value) {
-            return ProducerRecordStub{.key = {}, .value = value};
-          },
-          "KafkaIO.Write/ToProducerRecord")
-          .expand(input);
+PCollection<std::int64_t> KafkaWriteTransform::write_records(
+    const PCollection<ProducerRecordStub>& records) const {
   return ParDo::of<ProducerRecordStub, std::int64_t>(
              std::make_shared<KafkaWriterDoFn>(*broker_, config_),
              "KafkaIO.Write/KafkaWriter")
-      .expand(producer_records);
+      .expand(records);
+}
+
+PCollection<std::int64_t> KafkaWriteTransform::expand(
+    const PCollection<runtime::Payload>& input) const {
+  return write_records(
+      MapElements<runtime::Payload, ProducerRecordStub>::via(
+          [](const runtime::Payload& value) {
+            return ProducerRecordStub{.key = {}, .value = value};
+          },
+          "KafkaIO.Write/ToProducerRecord")
+          .expand(input));
+}
+
+PCollection<std::int64_t> KafkaWriteTransform::expand(
+    const PCollection<std::string>& input) const {
+  return write_records(
+      MapElements<std::string, ProducerRecordStub>::via(
+          [](const std::string& value) {
+            // A synthesized line: the payload takes an owning copy here,
+            // the single materialization this path pays.
+            return ProducerRecordStub{.key = {}, .value = runtime::Payload(value)};
+          },
+          "KafkaIO.Write/ToProducerRecord")
+          .expand(input));
 }
 
 }  // namespace dsps::beam

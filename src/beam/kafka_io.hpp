@@ -21,25 +21,30 @@
 #include "kafka/broker.hpp"
 #include "kafka/consumer.hpp"
 #include "kafka/producer.hpp"
+#include "runtime/payload.hpp"
 
 namespace dsps::beam {
 
 /// A consumed record with its metadata (KafkaIO.read()'s element type).
+/// Key and value are refcounted payload slices of the broker's storage —
+/// the envelope and coder hops stay (the measured abstraction cost), but
+/// the record bytes themselves are not copied until a coder materializes
+/// them at a serialized boundary.
 struct KafkaRecord {
   std::string topic;
   int partition = 0;
   std::int64_t offset = 0;
   Timestamp timestamp = 0;
-  std::string key;
-  std::string value;
+  runtime::Payload key;
+  runtime::Payload value;
 
   friend bool operator==(const KafkaRecord&, const KafkaRecord&) = default;
 };
 
 /// What ToProducerRecord emits and KafkaWriter consumes.
 struct ProducerRecordStub {
-  std::string key;
-  std::string value;
+  runtime::Payload key;
+  runtime::Payload value;
 
   friend bool operator==(const ProducerRecordStub&,
                          const ProducerRecordStub&) = default;
@@ -82,22 +87,32 @@ class KafkaReadTransform {
 };
 
 /// KafkaRecord -> KV<key, value>: drops the Kafka metadata (§III-C3).
+/// The emitted KV shares the record's payload storage (refcount bumps,
+/// no byte copies).
 class WithoutMetadataTransform {
  public:
-  PCollection<KV<std::string, std::string>> expand(
+  PCollection<KV<runtime::Payload, runtime::Payload>> expand(
       const PCollection<KafkaRecord>& input) const;
 };
 
-/// Composite write transform: apply to a PCollection<std::string>.
+/// Composite write transform: apply to a PCollection<runtime::Payload>
+/// (the zero-copy path) or a PCollection<std::string> (pipelines that
+/// synthesize fresh output lines). Both expansions produce the identical
+/// "ToProducerRecord" + "KafkaWriter" node pair.
 class KafkaWriteTransform {
  public:
   KafkaWriteTransform(kafka::Broker& broker, KafkaWriteConfig config)
       : broker_(&broker), config_(std::move(config)) {}
 
   /// Returns the terminal writer PCollection (carries no useful elements).
+  PCollection<std::int64_t> expand(
+      const PCollection<runtime::Payload>& input) const;
   PCollection<std::int64_t> expand(const PCollection<std::string>& input) const;
 
  private:
+  PCollection<std::int64_t> write_records(
+      const PCollection<ProducerRecordStub>& records) const;
+
   kafka::Broker* broker_;
   KafkaWriteConfig config_;
 };

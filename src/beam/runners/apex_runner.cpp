@@ -3,6 +3,7 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <string_view>
 #include <utility>
 
 #include "common/clock.hpp"
@@ -162,15 +163,25 @@ Result<PipelineResult> ApexRunner::run(const Pipeline& pipeline) {
   }
 
   const auto plan = apex::render_physical_plan(dag);
-  auto stats = apex::launch_application(rm, dag, apex::EngineConfig{});
-  if (!stats.is_ok()) return stats.status();
+  auto metrics = apex::launch_application(rm, dag, apex::EngineConfig{});
+  if (!metrics.is_ok()) return metrics.status();
 
   PipelineResult result;
   result.state = PipelineState::kDone;
-  result.duration_ms = stats.value().duration_ms;
+  result.duration_ms = metrics.value().gauge("app.duration_ms");
   if (plan.is_ok()) result.execution_plan = plan.value();
-  for (const auto& [name, count] : stats.value().tuples_in) {
-    result.elements_in[name] = count;
+  // Unified schema: "operator.<name>.tuples_in" -> per-transform counts.
+  constexpr std::string_view kPrefix = "operator.";
+  constexpr std::string_view kSuffix = ".tuples_in";
+  for (const auto& [name, count] :
+       metrics.value().counters_with_prefix(kPrefix)) {
+    if (name.size() <= kPrefix.size() + kSuffix.size() ||
+        !name.ends_with(kSuffix)) {
+      continue;
+    }
+    result.elements_in[name.substr(
+        kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size())] =
+        count;
   }
   return result;
 }

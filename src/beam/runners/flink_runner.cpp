@@ -149,10 +149,13 @@ Result<PipelineResult> FlinkRunner::run(const Pipeline& pipeline) {
   result.state = PipelineState::kDone;
   result.duration_ms = job.value().duration_ms;
   result.execution_plan = plan;
+  // Translation adds job vertices in Beam-node order, so vertex id i is
+  // transform i; counts come from the unified metrics snapshot.
   const auto& nodes = pipeline.graph().nodes();
   for (std::size_t i = 0;
-       i < nodes.size() && i < job.value().vertices.size(); ++i) {
-    result.elements_in[nodes[i].name] = job.value().vertices[i].records_in;
+       i < nodes.size() && i < job.value().vertex_names.size(); ++i) {
+    result.elements_in[nodes[i].name] =
+        job.value().records_in(static_cast<int>(i));
   }
   return result;
 }

@@ -249,21 +249,21 @@ Status compile(const StreamQuery& query, kafka::Broker& broker,
           .apply(KafkaIO::read(broker,
                                KafkaReadConfig{.topic = query.from_topic}))
           .apply(KafkaIO::without_metadata())
-          .apply(Values<std::string>::create<std::string>());
+          .apply(Values<runtime::Payload>::create<runtime::Payload>());
 
   if (query.contains_needle.has_value()) {
-    values = values.apply(Filter<std::string>::by(
+    values = values.apply(Filter<runtime::Payload>::by(
         [needle = *query.contains_needle,
-         negate = query.negate_contains](const std::string& line) {
-          return contains(line, needle) != negate;
+         negate = query.negate_contains](const runtime::Payload& line) {
+          return contains(line.view(), needle) != negate;
         },
         "Where/Contains"));
   }
   if (query.sample_fraction.has_value()) {
     // Thread-local RNG: statistically correct under any runner parallelism.
-    values = values.apply(Filter<std::string>::by(
+    values = values.apply(Filter<runtime::Payload>::by(
         [fraction = *query.sample_fraction,
-         seed = options.seed](const std::string&) {
+         seed = options.seed](const runtime::Payload&) {
           thread_local Xoshiro256 rng(
               seed ^ std::hash<std::thread::id>{}(std::this_thread::get_id()));
           return rng.next_double() < fraction;
@@ -271,12 +271,17 @@ Status compile(const StreamQuery& query, kafka::Broker& broker,
         "Sample"));
   }
   if (query.project_column.has_value()) {
-    values = values.apply(MapElements<std::string, std::string>::via(
-        [column = *query.project_column](const std::string& line) {
-          const auto fields = split_views(line, '\t');
+    values = values.apply(MapElements<runtime::Payload, runtime::Payload>::via(
+        [column = *query.project_column](const runtime::Payload& line) {
+          // The selected column is a sub-slice sharing the line's storage.
+          const auto fields = split_views(line.view(), '\t');
           const auto index = static_cast<std::size_t>(column);
-          return index < fields.size() ? std::string(fields[index])
-                                       : std::string{};
+          return index < fields.size()
+                     ? line.slice(
+                           static_cast<std::size_t>(fields[index].data() -
+                                                    line.view().data()),
+                           fields[index].size())
+                     : runtime::Payload{};
         },
         "Project/Column"));
   }

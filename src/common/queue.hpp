@@ -31,11 +31,13 @@ namespace dsps {
 
 /// Outcome of a non-blocking push: distinguishes transient back-pressure
 /// (kFull — retry later) from permanent shutdown (kClosed — stop producing).
-enum class QueuePushResult { kOk, kFull, kClosed };
+/// [[nodiscard]]: ignoring the result conflates back-pressure with shutdown
+/// and silently drops records — every caller must branch on it.
+enum class [[nodiscard]] QueuePushResult { kOk, kFull, kClosed };
 
 /// Outcome of a non-blocking pop: kEmpty means "nothing right now, more may
 /// come"; kDrained means the queue is closed and fully consumed.
-enum class QueuePopResult { kOk, kEmpty, kDrained };
+enum class [[nodiscard]] QueuePopResult { kOk, kEmpty, kDrained };
 
 template <typename T>
 class BoundedQueue {

@@ -34,7 +34,9 @@ void KafkaStringSource::run(SourceContext& context) {
   while (!context.cancelled()) {
     auto batch = consumer_->poll_batch(config_.poll_timeout_ms);
     for (auto& record : batch.records) {
-      context.collect(make_elem<std::string>(std::move(record.value)));
+      // Zero-copy hand-off: the Payload shares the broker's storage all the
+      // way down the operator chain.
+      context.collect(make_elem<kafka::Payload>(std::move(record.value)));
     }
     if (config_.resume_from_group &&
         ++polls_since_commit >= config_.commit_every_polls) {
@@ -70,7 +72,7 @@ void KafkaStringSink::invoke(const Elem& element) {
   producer_
       ->send(config_.topic, config_.partition,
              kafka::ProducerRecord{.key = {},
-                                   .value = elem_cast<std::string>(element)})
+                                   .value = elem_cast<kafka::Payload>(element)})
       .expect_ok();
 }
 

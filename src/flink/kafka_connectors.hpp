@@ -29,8 +29,9 @@ struct KafkaSourceConfig {
   int commit_every_polls = 1;
 };
 
-/// Emits record values as std::string elements. With parallelism > number
-/// of partitions, surplus subtasks emit nothing (Kafka semantics).
+/// Emits record values as kafka::Payload elements (refcounted slices of the
+/// broker's storage — no copy per record). With parallelism > number of
+/// partitions, surplus subtasks emit nothing (Kafka semantics).
 class KafkaStringSource final : public SourceFunction {
  public:
   KafkaStringSource(kafka::Broker& broker, KafkaSourceConfig config)
@@ -54,7 +55,7 @@ struct KafkaSinkConfig {
   std::size_t batch_size = 500;
 };
 
-/// Writes string elements as record values.
+/// Writes kafka::Payload elements as record values.
 class KafkaStringSink final : public SinkFunction {
  public:
   KafkaStringSink(kafka::Broker& broker, KafkaSinkConfig config)

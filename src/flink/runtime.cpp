@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/clock.hpp"
+#include "runtime/task_runtime.hpp"
 
 namespace dsps::flink {
 
@@ -58,17 +59,27 @@ class Router {
   }
 
   void send_eos() {
+    // Flush *every* staging buffer before any EOS goes out: a partial batch
+    // stranded at shutdown would truncate the output's append-time span,
+    // which is the measured execution time. Forward routers only ever stage
+    // to their own index, but flush_all() keeps the invariant structural
+    // rather than per-mode.
+    flush_all();
     if (mode_ == PartitionMode::kForward) {
       const std::size_t index =
           static_cast<std::size_t>(producer_subtask_) % channels_.size();
-      flush_channel(index);
-      channels_[index]->push(Envelope{{}, true});
+      (void)channels_[index]->push(Envelope{{}, true});
       return;
     }
-    for (std::size_t i = 0; i < channels_.size(); ++i) {
-      flush_channel(i);
-      channels_[i]->push(Envelope{{}, true});
+    for (auto& channel : channels_) {
+      // A closed channel (failed job) rejects the EOS; nothing to do.
+      (void)channel->push(Envelope{{}, true});
     }
+  }
+
+  /// Ships every staged batch now (stop/drain path and pre-EOS barrier).
+  void flush_all() {
+    for (std::size_t i = 0; i < channels_.size(); ++i) flush_channel(i);
   }
 
  private:
@@ -93,17 +104,17 @@ class Router {
 class ChainTail final : public Collector {
  public:
   ChainTail(std::vector<std::unique_ptr<Router>>* routers,
-            std::atomic<std::uint64_t>* records_out)
+            runtime::Counter records_out)
       : routers_(routers), records_out_(records_out) {}
 
   void collect(Elem element) override {
-    records_out_->fetch_add(1, std::memory_order_relaxed);
+    records_out_.add(1);
     for (auto& router : *routers_) router->emit(element);
   }
 
  private:
   std::vector<std::unique_ptr<Router>>* routers_;
-  std::atomic<std::uint64_t>* records_out_;
+  runtime::Counter records_out_;
 };
 
 /// Middle link: hands elements to the next operator in the chain.
@@ -140,11 +151,11 @@ struct Task {
 class BoundedSourceContext final : public SourceContext {
  public:
   BoundedSourceContext(Collector& entry, std::atomic<bool>& cancelled,
-                       std::atomic<std::uint64_t>& records_in)
+                       runtime::Counter records_in)
       : entry_(entry), cancelled_(cancelled), records_in_(records_in) {}
 
   void collect(Elem element) override {
-    records_in_.fetch_add(1, std::memory_order_relaxed);
+    records_in_.add(1);
     entry_.collect(std::move(element));
   }
   bool cancelled() const override {
@@ -154,39 +165,44 @@ class BoundedSourceContext final : public SourceContext {
  private:
   Collector& entry_;
   std::atomic<bool>& cancelled_;
-  std::atomic<std::uint64_t>& records_in_;
+  runtime::Counter records_in_;
 };
 
-struct VertexRuntime {
-  std::atomic<std::uint64_t> records_in{0};
-  std::atomic<std::uint64_t> records_out{0};
-};
+std::string vertex_counter_name(int vertex, const char* suffix) {
+  return "vertex." + std::to_string(vertex) + suffix;
+}
 
 }  // namespace
 
 struct JobHandle::State {
-  std::vector<std::thread> threads;
+  runtime::TaskRuntime tasks{"flink-job"};
   std::atomic<bool> cancelled{false};
-  std::vector<std::unique_ptr<VertexRuntime>> metrics;
+  runtime::MetricsRegistry registry;
+  std::vector<runtime::Counter> records_in;   // per vertex id
+  std::vector<runtime::Counter> records_out;  // per vertex id
   std::vector<std::string> names;
+  // Kept so the failure supervisor can close every channel: blocked
+  // producers/consumers unwind instead of wedging the job.
+  std::vector<std::shared_ptr<Channel>> channels;
   Stopwatch stopwatch;
   std::atomic<bool> joined{false};
   std::mutex join_mutex;
   JobResult result;
 
+  void fail(const Status& status) {
+    (void)status;
+    cancelled.store(true);
+    for (auto& channel : channels) channel->close();
+  }
+
   JobResult join() {
     std::lock_guard lock(join_mutex);
     if (!joined.load()) {
-      for (auto& thread : threads) {
-        if (thread.joinable()) thread.join();
-      }
+      result.job_status = tasks.join_all();
       result.duration_ms = stopwatch.elapsed_ms();
-      for (std::size_t v = 0; v < metrics.size(); ++v) {
-        result.vertices.push_back(VertexMetrics{
-            .display_name = names[v],
-            .records_in = metrics[v]->records_in.load(),
-            .records_out = metrics[v]->records_out.load()});
-      }
+      result.vertex_names = names;
+      result.metrics = registry.snapshot();
+      runtime::MetricsRegistry::global().merge(result.metrics, "flink.");
       joined.store(true);
     }
     return result;
@@ -201,7 +217,10 @@ JobHandle::~JobHandle() {
 }
 
 void JobHandle::cancel() {
-  if (state_) state_->cancelled.store(true);
+  if (state_) {
+    state_->cancelled.store(true);
+    state_->tasks.request_stop();
+  }
 }
 
 JobResult JobHandle::wait() {
@@ -284,9 +303,23 @@ Result<std::shared_ptr<JobHandle::State>> launch(const StreamGraph& graph,
 
   auto state = std::make_shared<JobHandle::State>();
   for (const auto& vertex : job_graph.vertices) {
-    state->metrics.push_back(std::make_unique<VertexRuntime>());
+    state->records_in.push_back(
+        state->registry.counter(vertex_counter_name(vertex.id, ".records_in")));
+    state->records_out.push_back(state->registry.counter(
+        vertex_counter_name(vertex.id, ".records_out")));
     state->names.push_back(vertex.display_name);
   }
+  for (const auto& [vertex, channels] : input_channels) {
+    (void)vertex;
+    state->channels.insert(state->channels.end(), channels.begin(),
+                           channels.end());
+  }
+  // A crashing task cancels the job: sources stop, channels close, every
+  // other task unwinds, and join_all() surfaces the failure Status.
+  state->tasks.set_failure_handler(
+      [state_weak = std::weak_ptr<JobHandle::State>(state)](const Status& s) {
+        if (auto state = state_weak.lock()) state->fail(s);
+      });
 
   // --- task construction ---------------------------------------------------
   std::vector<std::unique_ptr<Task>> tasks;
@@ -318,9 +351,9 @@ Result<std::shared_ptr<JobHandle::State>> launch(const StreamGraph& graph,
       }
 
       // Wire collectors tail -> head.
-      auto* runtime = state->metrics[static_cast<std::size_t>(vertex.id)].get();
-      auto tail =
-          std::make_unique<ChainTail>(&task->routers, &runtime->records_out);
+      auto tail = std::make_unique<ChainTail>(
+          &task->routers,
+          state->records_out[static_cast<std::size_t>(vertex.id)]);
       Collector* next = tail.get();
       task->collectors.push_back(std::move(tail));
       for (std::size_t i = task->operators.size(); i-- > 0;) {
@@ -348,10 +381,14 @@ Result<std::shared_ptr<JobHandle::State>> launch(const StreamGraph& graph,
   state->stopwatch.reset();
   for (auto& task_ptr : tasks) {
     const int parallelism = vertex_parallelism.at(task_ptr->vertex_id);
-    state->threads.emplace_back([task = std::move(task_ptr), state,
-                                 parallelism]() mutable {
-      auto* runtime =
-          state->metrics[static_cast<std::size_t>(task->vertex_id)].get();
+    const std::string thread_name =
+        "fl-" + task_ptr->name.substr(0, 8) + "-" +
+        std::to_string(task_ptr->subtask);
+    state->tasks.spawn(thread_name, [task = std::shared_ptr<Task>(
+                                         std::move(task_ptr)),
+                                     state, parallelism]() mutable {
+      const auto vertex = static_cast<std::size_t>(task->vertex_id);
+      runtime::Counter records_in = state->records_in[vertex];
       RuntimeContext context{.subtask_index = task->subtask,
                              .parallelism = parallelism,
                              .task_name = task->name};
@@ -374,7 +411,7 @@ Result<std::shared_ptr<JobHandle::State>> launch(const StreamGraph& graph,
       if (task->source != nullptr) {
         task->source->open(context);
         BoundedSourceContext source_context(*task->entry, state->cancelled,
-                                            runtime->records_in);
+                                            records_in);
         task->source->run(source_context);
         close_chain();
         return;
@@ -396,10 +433,7 @@ Result<std::shared_ptr<JobHandle::State>> launch(const StreamGraph& graph,
           ++data_records;
           task->entry->collect(std::move(envelope.payload));
         }
-        if (data_records > 0) {
-          runtime->records_in.fetch_add(data_records,
-                                        std::memory_order_relaxed);
-        }
+        if (data_records > 0) records_in.add(data_records);
       }
       close_chain();
     });
@@ -414,7 +448,9 @@ Result<JobResult> execute_job(const StreamGraph& graph,
                               const JobConfig& config) {
   auto state = launch(graph, job_graph, config);
   if (!state.is_ok()) return state.status();
-  return state.value()->join();
+  JobResult result = state.value()->join();
+  if (!result.job_status.is_ok()) return result.job_status;
+  return result;
 }
 
 Result<std::unique_ptr<JobHandle>> execute_job_async(

@@ -18,6 +18,7 @@
 #include "common/queue.hpp"
 #include "common/status.hpp"
 #include "flink/graph.hpp"
+#include "runtime/metrics.hpp"
 
 namespace dsps::flink {
 
@@ -88,16 +89,25 @@ struct JobConfig {
   std::size_t channel_capacity = 1024;
 };
 
-/// Per-vertex record counters observed after the job finished.
-struct VertexMetrics {
-  std::string display_name;
-  std::uint64_t records_in = 0;
-  std::uint64_t records_out = 0;
-};
-
+/// Outcome of a finished job. Per-vertex record counters live in the
+/// unified metrics snapshot as `vertex.<id>.records_in` / `.records_out`
+/// (vertex ids index `vertex_names`); the convenience accessors below wrap
+/// the lookup.
 struct JobResult {
   double duration_ms = 0.0;
-  std::vector<VertexMetrics> vertices;
+  /// Not ok when a task crashed mid-job (the runtime cancels the rest of
+  /// the job instead of hanging it).
+  Status job_status = Status::ok();
+  std::vector<std::string> vertex_names;  // indexed by job vertex id
+  runtime::MetricsSnapshot metrics;
+
+  std::uint64_t records_in(int vertex) const {
+    return metrics.counter("vertex." + std::to_string(vertex) + ".records_in");
+  }
+  std::uint64_t records_out(int vertex) const {
+    return metrics.counter("vertex." + std::to_string(vertex) +
+                           ".records_out");
+  }
 };
 
 /// Executes a bounded job to completion. Returns metrics or a scheduling /

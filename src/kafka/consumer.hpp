@@ -16,8 +16,8 @@ namespace dsps::kafka {
 struct ConsumedRecord {
   TopicPartition tp;
   std::int64_t offset = 0;
-  std::string key;
-  std::string value;
+  Payload key;
+  Payload value;
   Timestamp timestamp = 0;
 };
 

@@ -67,13 +67,12 @@ Status Producer::send(const std::string& topic, int partition,
   return Status::ok();
 }
 
-Status Producer::send(const std::string& topic, std::string key,
-                      std::string value) {
+Status Producer::send(const std::string& topic, Payload key, Payload value) {
   auto partitions = broker_.partition_count(topic);
   if (!partitions.is_ok()) return partitions.status();
   const int partition =
       key.empty() ? 0
-                  : static_cast<int>(fnv1a(key) %
+                  : static_cast<int>(fnv1a(key.view()) %
                                      static_cast<std::uint64_t>(
                                          partitions.value()));
   return send(topic, partition,

@@ -45,7 +45,7 @@ class Producer {
   Status send(const std::string& topic, int partition, ProducerRecord record);
 
   /// Convenience: key/value to partition chosen by key hash (or 0 if no key).
-  Status send(const std::string& topic, std::string key, std::string value);
+  Status send(const std::string& topic, Payload key, Payload value);
 
   /// Flushes all partition buffers.
   Status flush();

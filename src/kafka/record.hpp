@@ -12,8 +12,13 @@
 #include <string>
 
 #include "common/clock.hpp"
+#include "runtime/payload.hpp"
 
 namespace dsps::kafka {
+
+/// Record keys/values are refcounted immutable slices: appending to the log,
+/// replicating, and fetching a batch all share storage instead of copying.
+using Payload = runtime::Payload;
 
 /// How a partition stamps record timestamps.
 enum class TimestampType {
@@ -23,8 +28,8 @@ enum class TimestampType {
 
 /// What a producer sends.
 struct ProducerRecord {
-  std::string key;
-  std::string value;
+  Payload key;
+  Payload value;
   /// Only meaningful under CreateTime; ignored under LogAppendTime.
   Timestamp create_time = 0;
 };
@@ -32,8 +37,8 @@ struct ProducerRecord {
 /// What the log stores and consumers receive.
 struct StoredRecord {
   std::int64_t offset = 0;
-  std::string key;
-  std::string value;
+  Payload key;
+  Payload value;
   Timestamp timestamp = 0;  // LogAppendTime or CreateTime per topic config
 };
 

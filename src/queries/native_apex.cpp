@@ -16,6 +16,8 @@ namespace dsps::queries {
 
 namespace {
 
+using runtime::Payload;
+
 apex::OperatorFactory query_operator_factory(workload::QueryId query,
                                              const QueryContext& ctx) {
   using workload::QueryId;
@@ -23,17 +25,19 @@ apex::OperatorFactory query_operator_factory(workload::QueryId query,
     case QueryId::kIdentity:
       return {};  // no compute operator
     case QueryId::kSample:
-      return apex::filter_string_factory(
-          [seed = ctx.seed](const std::string&) {
+      return apex::filter_payload_factory(
+          [seed = ctx.seed](const Payload&) {
             return workload::sample_keep_threadlocal(seed);
           });
     case QueryId::kProjection:
-      return apex::map_string_factory([](const std::string& line) {
-        return workload::projection_of(line);
+      // Slices the tuple in place — the projected payload shares the
+      // broker record's storage.
+      return apex::map_payload_factory([](const Payload& line) {
+        return workload::projection_payload(line);
       });
     case QueryId::kGrep:
-      return apex::filter_string_factory([](const std::string& line) {
-        return workload::grep_matches(line);
+      return apex::filter_payload_factory([](const Payload& line) {
+        return workload::grep_matches(line.view());
       });
   }
   throw std::invalid_argument("unknown query");
@@ -46,7 +50,7 @@ apex::Dag build_dag(workload::QueryId query, const QueryContext& ctx) {
   const int output = dag.add_operator(
       "kafkaOutput",
       apex::kafka_output_factory(
-          *ctx.broker, apex::KafkaStringOutput::Config{
+          *ctx.broker, apex::KafkaPayloadOutput::Config{
                            .topic = ctx.output_topic}));
 
   apex::OperatorFactory compute = query_operator_factory(query, ctx);

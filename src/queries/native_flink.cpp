@@ -11,8 +11,10 @@ namespace dsps::queries {
 
 namespace {
 
-flink::DataStream<std::string> apply_query_operator(
-    const flink::DataStream<std::string>& lines, workload::QueryId query,
+using kafka::Payload;
+
+flink::DataStream<Payload> apply_query_operator(
+    const flink::DataStream<Payload>& lines, workload::QueryId query,
     const QueryContext& ctx) {
   using workload::QueryId;
   switch (query) {
@@ -20,20 +22,22 @@ flink::DataStream<std::string> apply_query_operator(
       return lines;  // source feeds the sink directly
     case QueryId::kSample:
       return lines.filter(
-          [seed = ctx.seed](const std::string&) {
+          [seed = ctx.seed](const Payload&) {
             return workload::sample_keep_threadlocal(seed);
           },
           "Sample");
     case QueryId::kProjection:
-      return lines.map<std::string>(
-          [](const std::string& line) {
-            return workload::projection_of(line);
+      // Projection slices the payload in place — no bytes are copied on the
+      // native path; only the sink's broker append materializes anything.
+      return lines.map<Payload>(
+          [](const Payload& line) {
+            return workload::projection_payload(line);
           },
           "Projection");
     case QueryId::kGrep:
       return lines.filter(
-          [](const std::string& line) {
-            return workload::grep_matches(line);
+          [](const Payload& line) {
+            return workload::grep_matches(line.view());
           },
           "Filter");
   }
@@ -44,7 +48,7 @@ flink::StreamExecutionEnvironment build_environment(
     workload::QueryId query, const QueryContext& ctx) {
   flink::StreamExecutionEnvironment env;
   env.set_parallelism(ctx.parallelism);
-  auto lines = env.add_source<std::string>(
+  auto lines = env.add_source<Payload>(
       flink::kafka_source(*ctx.broker,
                           flink::KafkaSourceConfig{.topic = ctx.input_topic}),
       "Custom Source");

@@ -9,24 +9,27 @@ namespace dsps::queries {
 
 namespace {
 
-spark::DStream<std::string> apply_query_transform(
-    const spark::DStream<std::string>& lines, workload::QueryId query,
+using kafka::Payload;
+
+spark::DStream<Payload> apply_query_transform(
+    const spark::DStream<Payload>& lines, workload::QueryId query,
     const QueryContext& ctx) {
   using workload::QueryId;
   switch (query) {
     case QueryId::kIdentity:
       return lines;
     case QueryId::kSample:
-      return lines.filter([seed = ctx.seed](const std::string&) {
+      return lines.filter([seed = ctx.seed](const Payload&) {
         return workload::sample_keep_threadlocal(seed);
       });
     case QueryId::kProjection:
-      return lines.map<std::string>([](const std::string& line) {
-        return workload::projection_of(line);
+      // Slices the row in place — RDD rows share the broker's storage.
+      return lines.map<Payload>([](const Payload& line) {
+        return workload::projection_payload(line);
       });
     case QueryId::kGrep:
-      return lines.filter([](const std::string& line) {
-        return workload::grep_matches(line);
+      return lines.filter([](const Payload& line) {
+        return workload::grep_matches(line.view());
       });
   }
   throw std::invalid_argument("unknown query");

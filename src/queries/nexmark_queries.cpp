@@ -44,11 +44,12 @@ namespace {
 using workload::Bid;
 
 /// Parses bid lines and re-stamps elements with the bid's event time, so
-/// windowing downstream is event-time based.
-class ParseBidDoFn final : public beam::DoFn<std::string, Bid> {
+/// windowing downstream is event-time based. Parses straight off the
+/// payload view — no line copy.
+class ParseBidDoFn final : public beam::DoFn<runtime::Payload, Bid> {
  public:
   void process(ProcessContext& context) override {
-    Bid bid = Bid::from_line(context.element());
+    Bid bid = Bid::from_line(context.element().view());
     const Timestamp event_time = bid.date_time;
     context.output_with_timestamp(std::move(bid), event_time);
   }
@@ -60,8 +61,8 @@ beam::PCollection<Bid> read_bids(beam::Pipeline& pipeline,
       .apply(beam::KafkaIO::read(
           *ctx.broker, beam::KafkaReadConfig{.topic = ctx.input_topic}))
       .apply(beam::KafkaIO::without_metadata())
-      .apply(beam::Values<std::string>::create<std::string>())
-      .apply(beam::ParDo::of<std::string, Bid>(
+      .apply(beam::Values<runtime::Payload>::create<runtime::Payload>())
+      .apply(beam::ParDo::of<runtime::Payload, Bid>(
           std::make_shared<ParseBidDoFn>(), "ParseBid"));
 }
 

@@ -1,0 +1,41 @@
+#include "runtime/payload.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dsps::runtime {
+
+Payload::Payload(std::string_view text) {
+  if (text.empty()) return;
+  std::shared_ptr<char[]> storage(new char[text.size()]);
+  std::memcpy(storage.get(), text.data(), text.size());
+  data_ = storage.get();
+  size_ = text.size();
+  owner_ = std::move(storage);
+}
+
+Payload::Payload(std::string&& text) {
+  if (text.empty()) return;
+  auto storage = std::make_shared<std::string>(std::move(text));
+  data_ = storage->data();
+  size_ = storage->size();
+  owner_ = std::move(storage);
+}
+
+Payload PayloadArena::intern(std::string_view text) {
+  if (text.empty()) return {};
+  if (text.size() > chunk_capacity_ - chunk_used_ || chunk_ == nullptr) {
+    const std::size_t capacity = std::max(chunk_bytes_, text.size());
+    chunk_ = std::shared_ptr<char[]>(new char[capacity]);
+    chunk_capacity_ = capacity;
+    chunk_used_ = 0;
+    ++chunks_allocated_;
+  }
+  char* dest = chunk_.get() + chunk_used_;
+  std::memcpy(dest, text.data(), text.size());
+  chunk_used_ += text.size();
+  bytes_interned_ += text.size();
+  return Payload::wrap(chunk_, dest, text.size());
+}
+
+}  // namespace dsps::runtime

@@ -1,0 +1,157 @@
+// Refcounted immutable byte slice — the shared record representation of the
+// data plane.
+//
+// Every layer of the stack used to carry records as `std::string`, which
+// means a record crossing broker -> engine -> sink is copied at every hop
+// (producer buffer, partition log, fetch batch, engine channel, sink
+// buffer). A Payload is an immutable view into refcounted storage: passing
+// it across a hop bumps a reference count instead of copying bytes. The
+// serialization boundaries the paper measures (Apex container hops, Beam
+// coders) still do real encode/decode work — they produce *new* storage —
+// but the pure forwarding hops inside one engine become copy-free.
+//
+// Ownership model: `owner_` keeps the backing storage alive (a whole arena
+// chunk, an adopted std::string, or a private copy); `data_/size_` view a
+// slice of it. Payload is cheap to copy (two pointers + one refcount bump)
+// and safe to share across threads once constructed (the bytes are
+// immutable; the control block is atomic).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace dsps::runtime {
+
+class Payload {
+ public:
+  /// Empty payload ("" — distinct from "no payload"; there is no null state).
+  Payload() noexcept = default;
+
+  /// Owning copy of a C string (implicit: literals read naturally at call
+  /// sites that used to take std::string).
+  Payload(const char* text)  // NOLINT(google-explicit-constructor)
+      : Payload(std::string_view(text == nullptr ? "" : text)) {}
+
+  /// Owning copy of `text` (one allocation; the copy is the last one).
+  Payload(std::string_view text);  // NOLINT(google-explicit-constructor)
+
+  /// Owning copy (lvalue strings are copied once, then shared forever).
+  Payload(const std::string& text)  // NOLINT(google-explicit-constructor)
+      : Payload(std::string_view(text)) {}
+
+  /// Zero-copy adoption of an rvalue string: the string's buffer becomes
+  /// the backing storage, no bytes are copied.
+  Payload(std::string&& text);  // NOLINT(google-explicit-constructor)
+
+  /// Aliasing view: `data[0..size)` must stay valid for as long as `owner`
+  /// keeps its referent alive. Used by PayloadArena and slice().
+  static Payload wrap(std::shared_ptr<const void> owner, const char* data,
+                      std::size_t size) noexcept {
+    Payload p;
+    p.owner_ = std::move(owner);
+    p.data_ = data;
+    p.size_ = size;
+    return p;
+  }
+
+  const char* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  std::string_view view() const noexcept { return {data_, size_}; }
+  operator std::string_view() const noexcept {  // NOLINT
+    return view();
+  }
+
+  /// Materializes a std::string copy (serialization boundaries only).
+  std::string str() const { return std::string(data_, size_); }
+
+  /// Sub-slice sharing this payload's storage (no copy).
+  Payload slice(std::size_t pos, std::size_t count) const noexcept {
+    if (pos > size_) pos = size_;
+    if (count > size_ - pos) count = size_ - pos;
+    return wrap(owner_, data_ + pos, count);
+  }
+
+  /// True when this payload shares backing storage with `other` (used by
+  /// tests to prove a hop was copy-free).
+  bool shares_storage_with(const Payload& other) const noexcept {
+    return owner_ != nullptr && owner_ == other.owner_;
+  }
+
+  friend bool operator==(const Payload& a, const Payload& b) noexcept {
+    return a.view() == b.view();
+  }
+  friend bool operator!=(const Payload& a, const Payload& b) noexcept {
+    return a.view() != b.view();
+  }
+  friend bool operator<(const Payload& a, const Payload& b) noexcept {
+    return a.view() < b.view();
+  }
+  /// Heterogeneous comparison against anything string-like (std::string,
+  /// string_view, literals). A constrained template instead of a
+  /// string_view overload: the argument binds exactly, so `payload == str`
+  /// never ambiguously matches both this and the Payload/Payload overload
+  /// through rival implicit conversions.
+  template <typename T>
+    requires(!std::is_same_v<std::remove_cvref_t<T>, Payload> &&
+             std::is_convertible_v<const T&, std::string_view>)
+  friend bool operator==(const Payload& a, const T& b) noexcept {
+    return a.view() == std::string_view(b);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Payload& p) {
+    return os.write(p.data_, static_cast<std::streamsize>(p.size_));
+  }
+
+ private:
+  std::shared_ptr<const void> owner_;
+  const char* data_ = "";
+  std::size_t size_ = 0;
+};
+
+/// Bump allocator that packs many small payloads into shared chunks.
+///
+/// A chunk is one refcounted allocation; every payload interned into it
+/// holds a reference to the whole chunk, so the chunk is freed when the
+/// last payload referencing it dies. Not thread-safe — each producer-side
+/// thread (source reader, data sender) owns its own arena, matching the
+/// single-writer structure of the ingest paths.
+class PayloadArena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit PayloadArena(std::size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes == 0 ? kDefaultChunkBytes : chunk_bytes) {}
+
+  /// Copies `text` into the current chunk (opening a new chunk when full;
+  /// oversized texts get a dedicated chunk) and returns a Payload viewing
+  /// the interned bytes.
+  Payload intern(std::string_view text);
+
+  std::size_t chunks_allocated() const noexcept { return chunks_allocated_; }
+  std::uint64_t bytes_interned() const noexcept { return bytes_interned_; }
+
+ private:
+  std::size_t chunk_bytes_;
+  std::shared_ptr<char[]> chunk_;
+  std::size_t chunk_used_ = 0;
+  std::size_t chunk_capacity_ = 0;
+  std::size_t chunks_allocated_ = 0;
+  std::uint64_t bytes_interned_ = 0;
+};
+
+}  // namespace dsps::runtime
+
+template <>
+struct std::hash<dsps::runtime::Payload> {
+  std::size_t operator()(const dsps::runtime::Payload& p) const noexcept {
+    return std::hash<std::string_view>{}(p.view());
+  }
+};

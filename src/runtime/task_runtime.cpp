@@ -1,0 +1,153 @@
+#include "runtime/task_runtime.hpp"
+
+#include <exception>
+#include <utility>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+namespace dsps::runtime {
+
+namespace {
+
+void name_current_thread(const std::string& name) {
+#if defined(__linux__)
+  // The kernel caps thread names at 15 chars + NUL.
+  pthread_setname_np(pthread_self(), name.substr(0, 15).c_str());
+#else
+  (void)name;
+#endif
+}
+
+}  // namespace
+
+TaskRuntime::TaskRuntime(std::string name) : name_(std::move(name)) {}
+
+TaskRuntime::~TaskRuntime() {
+  request_stop();
+  (void)join_all();
+}
+
+TaskRuntime::TaskId TaskRuntime::spawn(std::string task_name,
+                                       std::function<void()> body) {
+  auto task = std::make_unique<Task>();
+  task->name = std::move(task_name);
+  // The thread must be running before the task is published, so a
+  // concurrent wait()/join_all() never observes a half-built entry.
+  task->thread = std::thread([this, name = task->name,
+                              body = std::move(body)] { run_body(name, body); });
+  std::lock_guard lock(mutex_);
+  const TaskId id = tasks_.size();
+  tasks_.push_back(std::move(task));
+  return id;
+}
+
+void TaskRuntime::run_body(const std::string& task_name,
+                           const std::function<void()>& body) noexcept {
+  name_current_thread(task_name);
+  try {
+    body();
+  } catch (const std::exception& e) {
+    record_failure(Status::internal("task '" + task_name +
+                                    "' failed: " + e.what()));
+  } catch (...) {
+    record_failure(
+        Status::internal("task '" + task_name + "' failed: unknown exception"));
+  }
+}
+
+void TaskRuntime::record_failure(Status status) {
+  std::function<void(const Status&)> handler;
+  {
+    std::lock_guard lock(mutex_);
+    if (!failed_) {
+      failed_ = true;
+      first_failure_ = status;
+      handler = failure_handler_;
+    }
+  }
+  // Outside the lock: the handler usually calls request_stop(), which takes
+  // the mutex to drain stop hooks.
+  if (handler) handler(status);
+}
+
+void TaskRuntime::wait(TaskId id) {
+  std::thread thread;
+  {
+    std::lock_guard lock(mutex_);
+    if (id >= tasks_.size()) return;
+    thread = std::move(tasks_[id]->thread);
+  }
+  if (thread.joinable()) thread.join();
+}
+
+void TaskRuntime::detach(TaskId id) {
+  std::thread thread;
+  {
+    std::lock_guard lock(mutex_);
+    if (id >= tasks_.size()) return;
+    thread = std::move(tasks_[id]->thread);
+  }
+  if (thread.joinable()) thread.detach();
+}
+
+void TaskRuntime::request_stop() {
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_requested_.exchange(true, std::memory_order_acq_rel)) return;
+    hooks.swap(stop_hooks_);
+  }
+  for (const auto& hook : hooks) hook();
+}
+
+void TaskRuntime::on_stop(std::function<void()> hook) {
+  {
+    std::lock_guard lock(mutex_);
+    if (!stop_requested_.load(std::memory_order_acquire)) {
+      stop_hooks_.push_back(std::move(hook));
+      return;
+    }
+  }
+  hook();
+}
+
+void TaskRuntime::set_failure_handler(
+    std::function<void(const Status&)> handler) {
+  Status pending = Status::ok();
+  std::function<void(const Status&)> installed;
+  {
+    std::lock_guard lock(mutex_);
+    failure_handler_ = std::move(handler);
+    // A failure that raced ahead of handler installation must still fire.
+    if (failed_) {
+      pending = first_failure_;
+      installed = failure_handler_;
+    }
+  }
+  if (!pending.is_ok() && installed) installed(pending);
+}
+
+Status TaskRuntime::first_failure() const {
+  std::lock_guard lock(mutex_);
+  return first_failure_;
+}
+
+Status TaskRuntime::join_all() {
+  for (TaskId id = 0;; ++id) {
+    {
+      std::lock_guard lock(mutex_);
+      if (id >= tasks_.size()) break;
+    }
+    wait(id);
+  }
+  return first_failure();
+}
+
+std::size_t TaskRuntime::spawned_count() const {
+  std::lock_guard lock(mutex_);
+  return tasks_.size();
+}
+
+}  // namespace dsps::runtime

@@ -1,0 +1,108 @@
+// Shared worker-thread lifecycle for all engines.
+//
+// Every engine sim used to hand-roll its threads: Flink kept a raw
+// std::vector<std::thread> in the job handle, Spark detached a generator
+// loop, Apex spawned group threads inside YARN container bodies. None of
+// them had a story for an operator that *throws* — the exception escaped
+// the thread and aborted the process (or worse, a producer died silently
+// and the consumers blocked forever).
+//
+// A TaskRuntime owns named worker threads with a supervised lifecycle:
+//  * spawn()         — start a named task; the name lands on the OS thread
+//                      (pthread_setname_np) so gdb/top show real names;
+//  * request_stop()  — cooperative stop flag + registered stop hooks
+//                      (close queues, cancel sources) so blocked tasks
+//                      unwind instead of hanging;
+//  * wait()/join_all() — ordered shutdown: join in spawn order, which is
+//                      pipeline order for every engine here (sources first,
+//                      sinks last), so upstream EOS propagates before a
+//                      downstream join can block;
+//  * failure capture — a throwing task body becomes a Status; the first
+//                      failure fires the supervisor's failure handler
+//                      (which typically calls request_stop), so a crashing
+//                      operator fails the job instead of wedging it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace dsps::runtime {
+
+class TaskRuntime {
+ public:
+  using TaskId = std::size_t;
+
+  explicit TaskRuntime(std::string name = "runtime");
+
+  /// Stops and joins every remaining task. A task body that outlives its
+  /// runtime is a bug this destructor turns into a clean join, not a leak.
+  ~TaskRuntime();
+
+  TaskRuntime(const TaskRuntime&) = delete;
+  TaskRuntime& operator=(const TaskRuntime&) = delete;
+
+  /// Starts a named worker thread running `body`. Exceptions thrown by
+  /// `body` are captured as an internal Status and reported to the failure
+  /// handler; they never escape the thread.
+  TaskId spawn(std::string task_name, std::function<void()> body);
+
+  /// Joins one task (idempotent; safe to call after join_all()).
+  void wait(TaskId id);
+
+  /// Abandons a task's thread without joining it (models a failed node
+  /// whose containers never report back). The task keeps running until its
+  /// body observes stop_requested(); its failure, if any, is still
+  /// recorded.
+  void detach(TaskId id);
+
+  /// Sets the cooperative stop flag and runs registered stop hooks once.
+  void request_stop();
+  bool stop_requested() const noexcept {
+    return stop_requested_.load(std::memory_order_acquire);
+  }
+
+  /// Registers a hook run by request_stop() (e.g. "close the input
+  /// queues"). Runs immediately when stop was already requested.
+  void on_stop(std::function<void()> hook);
+
+  /// Called once, with the first failure, from the failing task's thread.
+  /// Typical supervisor: log + request_stop(). Set before spawning.
+  void set_failure_handler(std::function<void(const Status&)> handler);
+
+  /// The first captured failure (ok() when every task succeeded so far).
+  Status first_failure() const;
+
+  /// Joins every task in spawn order and returns first_failure().
+  Status join_all();
+
+  std::size_t spawned_count() const;
+
+ private:
+  struct Task {
+    std::string name;
+    std::thread thread;
+  };
+
+  void run_body(const std::string& task_name,
+                const std::function<void()>& body) noexcept;
+  void record_failure(Status status);
+
+  const std::string name_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<std::function<void()>> stop_hooks_;
+  std::function<void(const Status&)> failure_handler_;
+  Status first_failure_;
+  bool failed_ = false;
+  std::atomic<bool> stop_requested_{false};
+};
+
+}  // namespace dsps::runtime

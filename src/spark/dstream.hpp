@@ -25,6 +25,10 @@ class InputDStreamBase {
   virtual bool drained() const = 0;
   /// Records contributed to the most recent batch.
   virtual std::size_t last_batch_records() const = 0;
+  /// Stop accepting new records (graceful shutdown). After this returns,
+  /// everything the input ever accepted is visible to the next batch —
+  /// StreamingContext::stop() runs one final drain batch to deliver it.
+  virtual void stop_input() {}
 };
 
 template <typename T>

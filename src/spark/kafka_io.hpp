@@ -20,13 +20,14 @@ struct KafkaWriteConfig {
 };
 
 /// Registers an output op writing every batch element to Kafka.
-inline void write_to_kafka(const DStream<std::string>& stream,
+inline void write_to_kafka(const DStream<kafka::Payload>& stream,
                            kafka::Broker& broker,
                            const KafkaWriteConfig& config) {
   stream.foreach_rdd([&broker, config](SparkContext& sc,
-                                       const RDDPtr<std::string>& rdd) {
-    sc.run_job<std::string>(
-        rdd, [&broker, config](int /*split*/, IterPtr<std::string> iter) {
+                                       const RDDPtr<kafka::Payload>& rdd) {
+    sc.run_job<kafka::Payload>(
+        rdd,
+        [&broker, config](int /*split*/, IterPtr<kafka::Payload> iter) {
           // Pulling the iterator drives the whole pipelined stage, so
           // records reach the broker while upstream work is happening.
           kafka::Producer producer(

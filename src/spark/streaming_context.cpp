@@ -10,21 +10,23 @@ namespace dsps::spark {
 
 namespace {
 
+using kafka::Payload;
+
 /// Receiver-less Kafka input: per batch, claims [position, end) of every
 /// partition of the topic and slices the claimed records into
 /// `parallelism` RDD partitions.
-class KafkaDirectInputDStream final : public DStreamNode<std::string>,
+class KafkaDirectInputDStream final : public DStreamNode<Payload>,
                                       public InputDStreamBase {
  public:
   KafkaDirectInputDStream(kafka::Broker& broker, std::string topic,
                           int parallelism)
       : broker_(broker), topic_(std::move(topic)), parallelism_(parallelism) {}
 
-  RDDPtr<std::string> rdd_for(BatchId batch, SparkContext& sc) override {
+  RDDPtr<Payload> rdd_for(BatchId batch, SparkContext& sc) override {
     std::lock_guard lock(mutex_);
     if (batch == cached_batch_ && cached_) return cached_;
 
-    std::vector<std::string> claimed;
+    std::vector<Payload> claimed;
     const auto partitions = broker_.partition_count(topic_);
     if (partitions.is_ok()) {
       positions_.resize(static_cast<std::size_t>(partitions.value()), 0);
@@ -52,6 +54,7 @@ class KafkaDirectInputDStream final : public DStreamNode<std::string>,
               static_cast<std::size_t>(end.value() - position), fetched);
           if (!n.is_ok() || n.value() == 0) break;
           for (auto& record : fetched) {
+            // The row shares the broker's storage — no copy per record.
             claimed.push_back(std::move(record.value));
           }
           position += static_cast<std::int64_t>(n.value());
@@ -93,14 +96,17 @@ class KafkaDirectInputDStream final : public DStreamNode<std::string>,
   std::vector<std::int64_t> positions_;
   std::size_t last_batch_records_ = 0;
   BatchId cached_batch_ = -1;
-  RDDPtr<std::string> cached_;
+  RDDPtr<Payload> cached_;
 };
 
 /// Receiver-based Kafka input: a dedicated receiver thread pulls blocks of
 /// records from the broker into an SPSC ring-buffer block queue (receiver
 /// thread = producer, batch generator = consumer); rdd_for drains whatever
-/// blocks have arrived since the previous batch.
-class KafkaReceiverInputDStream final : public DStreamNode<std::string>,
+/// blocks have arrived since the previous batch. The receiver thread is a
+/// supervised TaskRuntime worker; stop_input() halts it *before* the final
+/// drain batch pops the queue, so every accepted block is delivered exactly
+/// once on a graceful stop.
+class KafkaReceiverInputDStream final : public DStreamNode<Payload>,
                                         public InputDStreamBase {
  public:
   static constexpr std::size_t kBlockRecords = 512;
@@ -112,21 +118,21 @@ class KafkaReceiverInputDStream final : public DStreamNode<std::string>,
         topic_(std::move(topic)),
         parallelism_(parallelism),
         blocks_(kBlockQueueCapacity) {
-    receiver_ = std::thread([this] { receive(); });
+    receiver_task_ = runtime_.spawn("spark-receiver", [this] { receive(); });
   }
 
   ~KafkaReceiverInputDStream() override {
     stop_requested_.store(true);
     blocks_.close();
-    if (receiver_.joinable()) receiver_.join();
+    runtime_.wait(receiver_task_);
   }
 
-  RDDPtr<std::string> rdd_for(BatchId batch, SparkContext& sc) override {
+  RDDPtr<Payload> rdd_for(BatchId batch, SparkContext& sc) override {
     std::lock_guard lock(mutex_);
     if (batch == cached_batch_ && cached_) return cached_;
 
-    std::vector<std::string> claimed;
-    std::vector<std::string> block;
+    std::vector<Payload> claimed;
+    std::vector<Payload> block;
     while (blocks_.try_pop(block) == QueuePopResult::kOk) {
       claimed.insert(claimed.end(), std::make_move_iterator(block.begin()),
                      std::make_move_iterator(block.end()));
@@ -160,6 +166,14 @@ class KafkaReceiverInputDStream final : public DStreamNode<std::string>,
     return last_batch_records_;
   }
 
+  void stop_input() override {
+    // Stop fetching but do NOT close the block queue: blocks the receiver
+    // already accepted stay poppable for the final drain batch. Joining the
+    // receiver here makes "accepted" a fixed set before the drain runs.
+    stop_requested_.store(true);
+    runtime_.wait(receiver_task_);
+  }
+
  private:
   void receive() {
     std::vector<kafka::StoredRecord> fetched;
@@ -181,7 +195,7 @@ class KafkaReceiverInputDStream final : public DStreamNode<std::string>,
           const auto n =
               broker_.fetch({topic_, p}, position, kBlockRecords, fetched);
           if (!n.is_ok() || n.value() == 0) continue;
-          std::vector<std::string> block;
+          std::vector<Payload> block;
           block.reserve(fetched.size());
           for (auto& record : fetched) block.push_back(std::move(record.value));
           if (!blocks_.push(std::move(block))) return;  // queue closed
@@ -202,15 +216,16 @@ class KafkaReceiverInputDStream final : public DStreamNode<std::string>,
   kafka::Broker& broker_;
   const std::string topic_;
   const int parallelism_;
-  mutable SpscRingQueue<std::vector<std::string>> blocks_;
-  std::thread receiver_;
+  mutable SpscRingQueue<std::vector<Payload>> blocks_;
+  runtime::TaskRuntime runtime_{"spark-receiver"};
+  runtime::TaskRuntime::TaskId receiver_task_ = 0;
   std::atomic<bool> stop_requested_{false};
   mutable std::mutex mutex_;            // guards the batch cache
   mutable std::mutex positions_mutex_;  // guards receiver positions
   std::vector<std::int64_t> positions_;
   std::size_t last_batch_records_ = 0;
   BatchId cached_batch_ = -1;
-  RDDPtr<std::string> cached_;
+  RDDPtr<Payload> cached_;
 };
 
 }  // namespace
@@ -219,24 +234,28 @@ StreamingContext::StreamingContext(SparkConf conf,
                                    std::int64_t batch_interval_ms)
     : conf_(conf), sc_(conf), batch_interval_ms_(batch_interval_ms) {
   require(batch_interval_ms >= 1, "batch interval must be >= 1 ms");
+  batch_count_ = registry_.counter("batch.count");
+  input_records_ = registry_.counter("input.records");
+  last_batch_gauge_ = registry_.gauge("batch.last_input_records");
+  batch_duration_ = registry_.histogram("batch.duration_us");
 }
 
 StreamingContext::~StreamingContext() { stop(); }
 
-DStream<std::string> StreamingContext::kafka_direct_stream(
+DStream<Payload> StreamingContext::kafka_direct_stream(
     kafka::Broker& broker, const std::string& topic) {
   auto node = std::make_shared<KafkaDirectInputDStream>(
       broker, topic, conf_.default_parallelism);
   register_input(node);
-  return DStream<std::string>(this, node);
+  return DStream<Payload>(this, node);
 }
 
-DStream<std::string> StreamingContext::kafka_receiver_stream(
+DStream<Payload> StreamingContext::kafka_receiver_stream(
     kafka::Broker& broker, const std::string& topic) {
   auto node = std::make_shared<KafkaReceiverInputDStream>(
       broker, topic, conf_.default_parallelism);
   register_input(node);
-  return DStream<std::string>(this, node);
+  return DStream<Payload>(this, node);
 }
 
 void StreamingContext::register_output(
@@ -257,9 +276,11 @@ void StreamingContext::run_one_batch() {
   std::size_t input_records = 0;
   for (const auto& output : outputs_) output(batch, sc_);
   for (const auto& input : inputs_) input_records += input->last_batch_records();
-  history_.push_back(BatchStats{.id = batch,
-                                .input_records = input_records,
-                                .processing_ms = watch.elapsed_ms()});
+  last_batch_input_records_ = input_records;
+  batch_count_.add(1);
+  input_records_.add(input_records);
+  last_batch_gauge_.set(static_cast<double>(input_records));
+  batch_duration_.record_us(static_cast<std::uint64_t>(watch.elapsed_us()));
 }
 
 bool StreamingContext::all_inputs_drained() const {
@@ -269,14 +290,20 @@ bool StreamingContext::all_inputs_drained() const {
   return true;
 }
 
+void StreamingContext::publish_metrics() {
+  if (metrics_published_) return;
+  metrics_published_ = true;
+  runtime::MetricsRegistry::global().merge(registry_.snapshot(), "spark.");
+}
+
 Status StreamingContext::start() {
   if (started_) return Status::failed_precondition("already started");
   if (outputs_.empty()) {
     return Status::failed_precondition("no output operations registered");
   }
   started_ = true;
-  running_.store(true);
-  generator_ = std::thread([this] {
+  generator_spawned_ = true;
+  generator_task_ = runtime_.spawn("spark-gen", [this] {
     while (!stop_requested_.load()) {
       const Stopwatch watch;
       run_one_batch();
@@ -286,14 +313,23 @@ Status StreamingContext::start() {
         std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
       }
     }
-    running_.store(false);
   });
   return Status::ok();
 }
 
 void StreamingContext::stop() {
   stop_requested_.store(true);
-  if (generator_.joinable()) generator_.join();
+  runtime_.request_stop();
+  if (generator_spawned_) {
+    runtime_.wait(generator_task_);
+    generator_spawned_ = false;
+    // Graceful drain: freeze the inputs' accepted sets, then deliver them
+    // in one final batch. Without this, a receiver block accepted between
+    // the last timer batch and the stop request would be dropped.
+    for (const auto& input : inputs_) input->stop_input();
+    if (runtime_.first_failure().is_ok()) run_one_batch();
+    publish_metrics();
+  }
 }
 
 Status StreamingContext::run_bounded() {
@@ -307,7 +343,7 @@ Status StreamingContext::run_bounded() {
   while (true) {
     const Stopwatch watch;
     run_one_batch();
-    const bool empty_batch = history_.back().input_records == 0;
+    const bool empty_batch = last_batch_input_records_ == 0;
     if (empty_batch && all_inputs_drained()) break;
     const auto spent_ms = static_cast<std::int64_t>(watch.elapsed_ms());
     const std::int64_t wait_ms = batch_interval_ms_ - spent_ms;
@@ -316,6 +352,7 @@ Status StreamingContext::run_bounded() {
     }
   }
   started_ = false;
+  publish_metrics();
   return Status::ok();
 }
 

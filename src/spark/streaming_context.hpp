@@ -5,6 +5,11 @@
 // registered output operation on it, one batch at a time. The benchmark
 // runs bounded: run_bounded() keeps generating batches until every input is
 // drained and the final batch carried no records.
+//
+// Batch bookkeeping reports through the unified runtime::MetricsRegistry
+// (counters `batch.count` / `input.records`, histogram `batch.duration_us`)
+// instead of a Spark-private stats struct; worker threads (the generator
+// and any Kafka receivers) run under runtime::TaskRuntime supervision.
 #pragma once
 
 #include <atomic>
@@ -12,21 +17,16 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/status.hpp"
 #include "kafka/broker.hpp"
 #include "kafka/consumer.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/task_runtime.hpp"
 #include "spark/dstream.hpp"
 
 namespace dsps::spark {
-
-struct BatchStats {
-  BatchId id = 0;
-  std::size_t input_records = 0;
-  double processing_ms = 0.0;
-};
 
 class StreamingContext {
  public:
@@ -43,9 +43,11 @@ class StreamingContext {
 
   /// Direct Kafka stream (the receiver-less kafka010 style): each batch
   /// reads the offset range that arrived since the previous batch and slices
-  /// it into `spark.default.parallelism` partitions.
-  DStream<std::string> kafka_direct_stream(kafka::Broker& broker,
-                                           const std::string& topic);
+  /// it into `spark.default.parallelism` partitions. Rows are refcounted
+  /// payload slices of the broker's storage — claiming a batch copies no
+  /// record bytes.
+  DStream<kafka::Payload> kafka_direct_stream(kafka::Broker& broker,
+                                              const std::string& topic);
 
   /// Receiver-based Kafka stream (the classic receiver style): a dedicated
   /// receiver thread pulls record blocks from the broker into a lock-free
@@ -53,8 +55,8 @@ class StreamingContext {
   /// previous batch. The paper's queries use the direct stream; this input
   /// exists for receiver-style workloads and exercises the ring-buffer
   /// block queue end to end.
-  DStream<std::string> kafka_receiver_stream(kafka::Broker& broker,
-                                             const std::string& topic);
+  DStream<kafka::Payload> kafka_receiver_stream(kafka::Broker& broker,
+                                                const std::string& topic);
 
   /// Registers an output operation (used by DStream::foreach_rdd).
   void register_output(std::function<void(BatchId, SparkContext&)> op);
@@ -63,7 +65,10 @@ class StreamingContext {
   /// Starts the timer-driven batch generator.
   Status start();
 
-  /// Stops the generator after the in-flight batch.
+  /// Graceful stop: halts the generator, stops inputs from accepting new
+  /// records, then runs one final drain batch so every record an input had
+  /// already accepted is delivered exactly once (a receiver block that
+  /// arrived between the last batch and the stop is not lost).
   void stop();
 
   /// Bounded run: generates batches on the interval until all inputs are
@@ -71,25 +76,38 @@ class StreamingContext {
   /// with start().
   Status run_bounded();
 
-  const std::vector<BatchStats>& batch_history() const noexcept {
-    return history_;
-  }
+  /// First failure of a supervised worker (generator/receiver), if any.
+  Status worker_failure() const { return runtime_.first_failure(); }
+
+  /// Unified metrics: `batch.count`, `input.records`, `batch.duration_us`,
+  /// `batch.last_input_records`.
+  runtime::MetricsSnapshot metrics() const { return registry_.snapshot(); }
+
+  std::uint64_t batches_run() const { return batch_count_.value(); }
 
  private:
   void run_one_batch();
   bool all_inputs_drained() const;
+  void publish_metrics();
 
   SparkConf conf_;
   SparkContext sc_;
   const std::int64_t batch_interval_ms_;
   std::vector<std::function<void(BatchId, SparkContext&)>> outputs_;
   std::vector<std::shared_ptr<InputDStreamBase>> inputs_;
-  std::vector<BatchStats> history_;
+  runtime::MetricsRegistry registry_;
+  runtime::Counter batch_count_;
+  runtime::Counter input_records_;
+  runtime::Gauge last_batch_gauge_;
+  runtime::TimeHistogram batch_duration_;
+  std::size_t last_batch_input_records_ = 0;
   BatchId next_batch_ = 0;
-  std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
-  std::thread generator_;
+  runtime::TaskRuntime runtime_{"spark-streaming"};
+  runtime::TaskRuntime::TaskId generator_task_ = 0;
+  bool generator_spawned_ = false;
   bool started_ = false;
+  bool metrics_published_ = false;
 };
 
 template <typename T>

@@ -1,5 +1,8 @@
 #include "workload/nexmark.hpp"
 
+#include <charconv>
+#include <system_error>
+
 #include "common/status.hpp"
 #include "common/strings.hpp"
 
@@ -18,13 +21,21 @@ std::string Bid::to_line() const {
   return line;
 }
 
-Bid Bid::from_line(const std::string& line) {
-  const auto fields = split(line, ',');
+Bid Bid::from_line(std::string_view line) {
+  const auto fields = split_views(line, ',');
   require(fields.size() == 4, "malformed bid line");
-  return Bid{.auction = std::stoll(fields[0]),
-             .bidder = std::stoll(fields[1]),
-             .price = std::stoll(fields[2]),
-             .date_time = std::stoll(fields[3])};
+  const auto parse_i64 = [](std::string_view field) {
+    std::int64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(field.data(), field.data() + field.size(), value);
+    require(ec == std::errc{} && ptr == field.data() + field.size(),
+            "malformed bid field");
+    return value;
+  };
+  return Bid{.auction = parse_i64(fields[0]),
+             .bidder = parse_i64(fields[1]),
+             .price = parse_i64(fields[2]),
+             .date_time = parse_i64(fields[3])};
 }
 
 NexmarkGenerator::NexmarkGenerator(NexmarkConfig config)

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -32,7 +33,9 @@ struct Bid {
   /// Serializes as "auction,bidder,price,date_time" (the broker carries
   /// strings, like the Kafka-based NEXMark setups).
   std::string to_line() const;
-  static Bid from_line(const std::string& line);
+  /// Accepts any byte view (std::string, runtime::Payload::view()) — the
+  /// parse allocates nothing.
+  static Bid from_line(std::string_view line);
 };
 
 struct NexmarkConfig {

@@ -33,14 +33,20 @@ const QueryInfo& query_info(QueryId id) {
   throw std::invalid_argument("unknown query id");
 }
 
-std::string identity_of(const std::string& line) { return line; }
+std::string identity_of(std::string_view line) { return std::string(line); }
 
-std::string projection_of(const std::string& line) {
+std::string projection_of(std::string_view line) {
   const std::size_t tab = line.find('\t');
-  return tab == std::string::npos ? line : line.substr(0, tab);
+  return std::string(tab == std::string_view::npos ? line
+                                                   : line.substr(0, tab));
 }
 
-bool grep_matches(const std::string& line) {
+runtime::Payload projection_payload(const runtime::Payload& line) {
+  const std::size_t tab = line.view().find('\t');
+  return tab == std::string_view::npos ? line : line.slice(0, tab);
+}
+
+bool grep_matches(std::string_view line) {
   return contains(line, kGrepNeedle);
 }
 

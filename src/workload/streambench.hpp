@@ -7,7 +7,10 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "runtime/payload.hpp"
 
 namespace dsps::workload {
 
@@ -33,14 +36,18 @@ inline constexpr const char* kGrepNeedle = "test";
 // --- shared per-record logic -------------------------------------------------
 
 /// Identity: the record itself.
-std::string identity_of(const std::string& line);
+std::string identity_of(std::string_view line);
 
 /// Projection: the first tab-separated column (§III-B: "the values of the
 /// first column are chosen").
-std::string projection_of(const std::string& line);
+std::string projection_of(std::string_view line);
+
+/// Projection over a Payload record: the first column as a sub-slice
+/// sharing the record's storage (no copy — the native engines' fast path).
+runtime::Payload projection_payload(const runtime::Payload& line);
 
 /// Grep: does the record contain the needle?
-bool grep_matches(const std::string& line);
+bool grep_matches(std::string_view line);
 
 /// Sample: a stateful 40% coin-flipper. Each call site owns one instance
 /// (not shared across threads).

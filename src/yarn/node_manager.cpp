@@ -1,6 +1,7 @@
 #include "yarn/node_manager.hpp"
 
 #include <utility>
+#include <vector>
 
 #include "common/clock.hpp"
 
@@ -60,39 +61,55 @@ Status NodeManager::launch(ContainerId id, std::function<void()> work) {
     return Status::failed_precondition("container already launched");
   }
   it->second.state = ContainerState::kRunning;
-  it->second.worker = std::thread([this, id, work = std::move(work)] {
-    work();
-    std::lock_guard inner(mutex_);
-    const auto slot = slots_.find(id);
-    if (slot != slots_.end() &&
-        slot->second.state == ContainerState::kRunning) {
-      slot->second.state = ContainerState::kCompleted;
-      used_ = used_ - slot->second.container.resource;
-    }
-  });
+  it->second.launched = true;
+  it->second.task = runtime_.spawn(
+      id_ + "-c" + std::to_string(id),
+      [this, id, work = std::move(work)] {
+        try {
+          work();
+        } catch (...) {
+          {
+            std::lock_guard inner(mutex_);
+            const auto slot = slots_.find(id);
+            if (slot != slots_.end() &&
+                slot->second.state == ContainerState::kRunning) {
+              slot->second.state = ContainerState::kFailed;
+              used_ = used_ - slot->second.container.resource;
+            }
+          }
+          throw;  // TaskRuntime retains it as first_container_failure()
+        }
+        std::lock_guard inner(mutex_);
+        const auto slot = slots_.find(id);
+        if (slot != slots_.end() &&
+            slot->second.state == ContainerState::kRunning) {
+          slot->second.state = ContainerState::kCompleted;
+          used_ = used_ - slot->second.container.resource;
+        }
+      });
   return Status::ok();
 }
 
 void NodeManager::await(ContainerId id) {
-  std::thread worker;
+  runtime::TaskRuntime::TaskId task = 0;
   {
     std::lock_guard lock(mutex_);
     const auto it = slots_.find(id);
-    if (it == slots_.end() || !it->second.worker.joinable()) return;
-    worker = std::move(it->second.worker);
+    if (it == slots_.end() || !it->second.launched) return;
+    task = it->second.task;
   }
-  worker.join();
+  runtime_.wait(task);
 }
 
 void NodeManager::await_all() {
-  std::vector<std::thread> workers;
+  std::vector<runtime::TaskRuntime::TaskId> launched;
   {
     std::lock_guard lock(mutex_);
     for (auto& [id, slot] : slots_) {
-      if (slot.worker.joinable()) workers.push_back(std::move(slot.worker));
+      if (slot.launched) launched.push_back(slot.task);
     }
   }
-  for (auto& worker : workers) worker.join();
+  for (const auto task : launched) runtime_.wait(task);
 }
 
 ContainerState NodeManager::state(ContainerId id) const {
@@ -105,18 +122,22 @@ ContainerState NodeManager::state(ContainerId id) const {
 void NodeManager::beat() noexcept { last_heartbeat_ms_.store(wall_clock_now()); }
 
 void NodeManager::fail_node() {
-  std::lock_guard lock(mutex_);
-  failed_.store(true);
-  for (auto& [id, slot] : slots_) {
-    if (slot.state == ContainerState::kRunning ||
-        slot.state == ContainerState::kAllocated) {
-      slot.state = ContainerState::kFailed;
-      // The worker thread keeps running (we cannot safely kill a thread);
-      // tests use cooperative work functions that observe failed().
-      if (slot.worker.joinable()) slot.worker.detach();
+  std::vector<runtime::TaskRuntime::TaskId> to_detach;
+  {
+    std::lock_guard lock(mutex_);
+    failed_.store(true);
+    for (auto& [id, slot] : slots_) {
+      if (slot.state == ContainerState::kRunning ||
+          slot.state == ContainerState::kAllocated) {
+        slot.state = ContainerState::kFailed;
+        // The worker thread keeps running (we cannot safely kill a thread);
+        // tests use cooperative work functions that observe failed().
+        if (slot.launched) to_detach.push_back(slot.task);
+      }
     }
+    used_ = Resource{0, 0};
   }
-  used_ = Resource{0, 0};
+  for (const auto task : to_detach) runtime_.detach(task);
 }
 
 }  // namespace dsps::yarn

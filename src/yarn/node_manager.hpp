@@ -1,5 +1,6 @@
-// NodeManager: per-node daemon that launches container work in threads and
-// heartbeats its liveness and resource usage to the ResourceManager.
+// NodeManager: per-node daemon that launches container work in supervised
+// TaskRuntime threads and heartbeats its liveness and resource usage to the
+// ResourceManager.
 #pragma once
 
 #include <atomic>
@@ -7,10 +8,10 @@
 #include <functional>
 #include <map>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "common/status.hpp"
+#include "runtime/task_runtime.hpp"
 #include "yarn/types.hpp"
 
 namespace dsps::yarn {
@@ -36,7 +37,9 @@ class NodeManager {
   /// Releases a container's resources (after completion/failure).
   void release(ContainerId id);
 
-  /// Runs `work` on a dedicated thread for the given (reserved) container.
+  /// Runs `work` on a supervised worker thread for the given (reserved)
+  /// container. A work function that throws marks the container kFailed
+  /// and the failure is retained (see first_container_failure()).
   Status launch(ContainerId id, std::function<void()> work);
 
   /// Blocks until the container's work function returns.
@@ -46,6 +49,10 @@ class NodeManager {
   void await_all();
 
   ContainerState state(ContainerId id) const;
+
+  /// First Status captured from a container work function that threw;
+  /// ok() when every container completed cleanly so far.
+  Status first_container_failure() const { return runtime_.first_failure(); }
 
   /// Heartbeat bookkeeping, driven by the ResourceManager's monitor.
   std::int64_t last_heartbeat_ms() const noexcept {
@@ -62,7 +69,8 @@ class NodeManager {
   struct Slot {
     Container container;
     ContainerState state = ContainerState::kAllocated;
-    std::thread worker;
+    runtime::TaskRuntime::TaskId task = 0;
+    bool launched = false;
   };
 
   const NodeId id_;
@@ -72,6 +80,9 @@ class NodeManager {
   Resource used_{0, 0};
   std::atomic<std::int64_t> last_heartbeat_ms_{0};
   std::atomic<bool> failed_{false};
+  // Declared last so its destructor joins workers before the slot map and
+  // resource bookkeeping they touch are torn down.
+  runtime::TaskRuntime runtime_{"yarn-nm"};
 };
 
 }  // namespace dsps::yarn

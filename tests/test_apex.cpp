@@ -6,6 +6,7 @@
 #include <atomic>
 #include <mutex>
 
+#include "apex/codec.hpp"
 #include "apex/dag.hpp"
 #include "apex/engine.hpp"
 #include "apex/operators_library.hpp"
@@ -14,13 +15,15 @@
 namespace dsps::apex {
 namespace {
 
+using runtime::Payload;
+
 /// Emits the integers [0, n) as strings.
 class IntInput final : public InputOperator {
  public:
   explicit IntInput(int n) : n_(n), out_(register_output()) {}
   bool emit_tuples(std::size_t budget) override {
     for (std::size_t b = 0; b < budget && next_ < n_; ++b) {
-      emit(out_, make_tuple_of<std::string>(std::to_string(next_++)));
+      emit(out_, make_tuple_of<Payload>(std::to_string(next_++)));
     }
     return next_ < n_;
   }
@@ -47,7 +50,7 @@ class CollectorOp final : public Operator {
   explicit CollectorOp(std::shared_ptr<Shared> shared)
       : shared_(std::move(shared)), in_(register_input([this](const Tuple& t) {
           std::lock_guard lock(shared_->mutex);
-          shared_->values.push_back(tuple_cast<std::string>(t));
+          shared_->values.push_back(tuple_cast<Payload>(t).str());
         })) {}
 
   void setup(const OperatorContext&) override { shared_->setups.fetch_add(1); }
@@ -193,7 +196,7 @@ TEST(ApexPlanTest, NodeLocalSplitsContainers) {
         std::make_shared<CollectorOp::Shared>());
   });
   dag.add_stream("s", PortRef{in, 0}, PortRef{op, 0}, Locality::kNodeLocal,
-                 string_codec());
+                 payload_codec());
   const auto plan = render_physical_plan(dag);
   ASSERT_TRUE(plan.is_ok());
   EXPECT_NE(plan.value().find("Container 0"), std::string::npos);
@@ -220,7 +223,7 @@ TEST_P(ApexLocalityTest, DeliversAllTuplesInOrder) {
   });
   dag.add_stream("s", PortRef{in, 0}, PortRef{op, 0}, GetParam().locality,
                  GetParam().locality == Locality::kNodeLocal
-                     ? string_codec()
+                     ? payload_codec()
                      : CodecFactory{});
   auto stats = launch_application(test_rm(), dag, EngineConfig{});
   ASSERT_TRUE(stats.is_ok()) << stats.status().to_string();
@@ -229,7 +232,7 @@ TEST_P(ApexLocalityTest, DeliversAllTuplesInOrder) {
     EXPECT_EQ(shared->values[static_cast<std::size_t>(i)],
               std::to_string(i));
   }
-  EXPECT_EQ(stats.value().tuples_in.at("collect"), 500u);
+  EXPECT_EQ(stats.value().counter("operator.collect.tuples_in"), 500u);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -259,7 +262,7 @@ TEST(ApexEngineTest, WindowLifecycleBalanced) {
   EXPECT_EQ(shared->end_streams.load(), 1);
   EXPECT_EQ(shared->begin_windows.load(), shared->end_windows.load());
   // 10000 tuples at 1024/window => at least 10 windows were emitted.
-  EXPECT_GE(stats.value().windows_emitted, 10);
+  EXPECT_GE(stats.value().counter("windows.emitted"), 10u);
 }
 
 TEST(ApexEngineTest, PartitionedOperatorSeesEverythingOnce) {
@@ -269,7 +272,7 @@ TEST(ApexEngineTest, PartitionedOperatorSeesEverythingOnce) {
   });
   // Pass-through compute partitioned 3 ways, merged into one collector.
   const int compute = dag.add_operator(
-      "compute", map_string_factory([](const std::string& s) { return s; }));
+      "compute", map_payload_factory([](const Payload& s) { return s; }));
   dag.set_partitions(compute, 3);
   auto shared = std::make_shared<CollectorOp::Shared>();
   const int sink = dag.add_operator("collect", [shared] {
@@ -301,17 +304,17 @@ TEST(ApexEngineTest, ReportsContainerAndGroupCounts) {
     return std::make_unique<IntInput>(10);
   });
   const int a = dag.add_operator(
-      "a", map_string_factory([](const std::string& s) { return s; }));
+      "a", map_payload_factory([](const Payload& s) { return s; }));
   const int b = dag.add_operator(
-      "b", map_string_factory([](const std::string& s) { return s; }));
+      "b", map_payload_factory([](const Payload& s) { return s; }));
   dag.add_stream("s1", PortRef{in, 0}, PortRef{a, 0}, Locality::kNodeLocal,
-                 string_codec());
+                 payload_codec());
   dag.add_stream("s2", PortRef{a, 0}, PortRef{b, 0}, Locality::kNodeLocal,
-                 string_codec());
+                 payload_codec());
   auto stats = launch_application(test_rm(), dag, EngineConfig{});
   ASSERT_TRUE(stats.is_ok());
-  EXPECT_EQ(stats.value().containers_used, 3);
-  EXPECT_EQ(stats.value().thread_groups, 3);
+  EXPECT_EQ(stats.value().gauge("app.containers"), 3.0);
+  EXPECT_EQ(stats.value().gauge("app.thread_groups"), 3.0);
 }
 
 TEST(ApexEngineTest, RunsOnDegradedClusterAfterNodeFailure) {
@@ -331,7 +334,7 @@ TEST(ApexEngineTest, RunsOnDegradedClusterAfterNodeFailure) {
     return std::make_unique<CollectorOp>(shared);
   });
   dag.add_stream("s", PortRef{in, 0}, PortRef{op, 0},
-                 Locality::kNodeLocal, string_codec());
+                 Locality::kNodeLocal, payload_codec());
   auto stats = launch_application(rm, dag, EngineConfig{});
   ASSERT_TRUE(stats.is_ok()) << stats.status().to_string();
   EXPECT_EQ(shared->values.size(), 200u);
@@ -350,28 +353,39 @@ TEST(ApexEngineTest, FailsCleanlyWhenClusterTooSmall) {
     return std::make_unique<IntInput>(1);
   });
   const int op = dag.add_operator(
-      "op", map_string_factory([](const std::string& s) { return s; }));
+      "op", map_payload_factory([](const Payload& s) { return s; }));
   dag.add_stream("s", PortRef{in, 0}, PortRef{op, 0},
-                 Locality::kNodeLocal, string_codec());
+                 Locality::kNodeLocal, payload_codec());
   auto stats = launch_application(rm, dag, EngineConfig{});
   EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted);
 }
 
 // --- codecs ---------------------------------------------------------------------------
 
-TEST(ApexCodecTest, StringCodecRoundTrip) {
-  StringCodec codec;
-  const Tuple tuple = make_tuple_of<std::string>("hello\tworld");
+TEST(ApexCodecTest, PayloadCodecRoundTrip) {
+  PayloadCodec codec;
+  const Tuple tuple = make_tuple_of<Payload>("hello\tworld");
   const Bytes bytes = codec.serialize(tuple);
   const Tuple restored = codec.deserialize(bytes);
-  EXPECT_EQ(tuple_cast<std::string>(restored), "hello\tworld");
+  EXPECT_EQ(tuple_cast<Payload>(restored).view(), "hello\tworld");
 }
 
-TEST(ApexCodecTest, EmptyStringRoundTrip) {
-  StringCodec codec;
-  const Tuple restored = codec.deserialize(
-      codec.serialize(make_tuple_of<std::string>("")));
-  EXPECT_EQ(tuple_cast<std::string>(restored), "");
+TEST(ApexCodecTest, EmptyPayloadRoundTrip) {
+  PayloadCodec codec;
+  const Tuple restored =
+      codec.deserialize(codec.serialize(make_tuple_of<Payload>("")));
+  EXPECT_EQ(tuple_cast<Payload>(restored).view(), "");
+}
+
+TEST(ApexCodecTest, DeserializedPayloadOwnsItsBytes) {
+  // A deserialized tuple must not alias the (transient) wire buffer.
+  PayloadCodec codec;
+  Tuple restored;
+  {
+    const Bytes bytes = codec.serialize(make_tuple_of<Payload>("boundary"));
+    restored = codec.deserialize(bytes);
+  }
+  EXPECT_EQ(tuple_cast<Payload>(restored).view(), "boundary");
 }
 
 // --- functional operator library ----------------------------------------------------
@@ -382,16 +396,16 @@ TEST(ApexOperatorsTest, MapFilterFlatMapCompose) {
     return std::make_unique<IntInput>(10);
   });
   const int doubled = dag.add_operator(
-      "double", map_string_factory([](const std::string& s) {
-        return std::to_string(std::stoi(s) * 2);
+      "double", map_payload_factory([](const Payload& s) {
+        return Payload(std::to_string(std::stoi(s.str()) * 2));
       }));
   const int filtered = dag.add_operator(
-      "filter", filter_string_factory([](const std::string& s) {
-        return std::stoi(s) >= 10;
+      "filter", filter_payload_factory([](const Payload& s) {
+        return std::stoi(s.str()) >= 10;
       }));
   const int expanded = dag.add_operator(
-      "expand", flat_map_string_factory([](const std::string& s) {
-        return std::vector<std::string>{s, s};
+      "expand", flat_map_payload_factory([](const Payload& s) {
+        return std::vector<Payload>{s, s};
       }));
   auto shared = std::make_shared<CollectorOp::Shared>();
   const int sink = dag.add_operator("collect", [shared] {
@@ -428,7 +442,7 @@ TEST(ApexKafkaTest, KafkaInputToOutputOnYarn) {
       dag.add_input_operator("kafkaIn", kafka_input_factory(broker, "in"));
   const int out = dag.add_operator(
       "kafkaOut", kafka_output_factory(
-                      broker, KafkaStringOutput::Config{.topic = "out"}));
+                      broker, KafkaPayloadOutput::Config{.topic = "out"}));
   dag.add_stream("s", PortRef{in, 0}, PortRef{out, 0},
                  Locality::kThreadLocal, {});
   auto stats = launch_application(test_rm(), dag, EngineConfig{});

@@ -431,9 +431,11 @@ TEST(KafkaIoTest, FullQueryPipelineHasSevenNodes) {
   auto records =
       pipeline.apply(KafkaIO::read(broker, KafkaReadConfig{.topic = "in"}));
   auto kvs = records.apply(KafkaIO::without_metadata());
-  auto values = kvs.apply(Values<std::string>::create<std::string>());
-  auto filtered = values.apply(Filter<std::string>::by(
-      [](const std::string& s) { return s.find("test") != std::string::npos; },
+  auto values = kvs.apply(Values<runtime::Payload>::create<runtime::Payload>());
+  auto filtered = values.apply(Filter<runtime::Payload>::by(
+      [](const runtime::Payload& s) {
+        return s.view().find("test") != std::string_view::npos;
+      },
       "Grep"));
   filtered.apply(KafkaIO::write(broker, KafkaWriteConfig{.topic = "out"}));
   EXPECT_EQ(pipeline.graph().nodes().size(), 7u);
@@ -454,7 +456,7 @@ TEST(KafkaIoTest, ReadToWriteOnDirectRunner) {
   Pipeline pipeline;
   pipeline.apply(KafkaIO::read(broker, KafkaReadConfig{.topic = "in"}))
       .apply(KafkaIO::without_metadata())
-      .apply(Values<std::string>::create<std::string>())
+      .apply(Values<runtime::Payload>::create<runtime::Payload>())
       .apply(KafkaIO::write(broker, KafkaWriteConfig{.topic = "out"}));
   DirectRunner runner;
   ASSERT_TRUE(pipeline.run(runner).is_ok());
@@ -473,7 +475,7 @@ TEST(KafkaIoTest, WithoutMetadataKeepsKeyAndValue) {
                 false)
       .status()
       .expect_ok();
-  using OutKv = KV<std::string, std::string>;
+  using OutKv = KV<runtime::Payload, runtime::Payload>;
   auto [sink, storage] = make_collector<OutKv>();
   Pipeline pipeline;
   pipeline.apply(KafkaIO::read(broker, KafkaReadConfig{.topic = "in"}))

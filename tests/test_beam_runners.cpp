@@ -62,7 +62,7 @@ std::vector<std::string> read_topic(kafka::Broker& broker,
   broker.fetch({topic, 0}, 0, 1'000'000, stored).status().expect_ok();
   std::vector<std::string> values;
   values.reserve(stored.size());
-  for (auto& record : stored) values.push_back(std::move(record.value));
+  for (auto& record : stored) values.push_back(record.value.str());
   return values;
 }
 
@@ -76,7 +76,7 @@ TEST_P(AllRunnersTest, IdentityPipelinePreservesEverything) {
   Pipeline pipeline;
   pipeline.apply(KafkaIO::read(broker, KafkaReadConfig{.topic = "in"}))
       .apply(KafkaIO::without_metadata())
-      .apply(Values<std::string>::create<std::string>())
+      .apply(Values<runtime::Payload>::create<runtime::Payload>())
       .apply(KafkaIO::write(broker, KafkaWriteConfig{.topic = "out"}));
   auto runner = make_runner(GetParam());
   auto result = pipeline.run(*runner);
@@ -98,9 +98,9 @@ TEST_P(AllRunnersTest, FilterPipelineSelectsSameSubset) {
   Pipeline pipeline;
   pipeline.apply(KafkaIO::read(broker, KafkaReadConfig{.topic = "in"}))
       .apply(KafkaIO::without_metadata())
-      .apply(Values<std::string>::create<std::string>())
-      .apply(Filter<std::string>::by([](const std::string& s) {
-        return s.ends_with("7");
+      .apply(Values<runtime::Payload>::create<runtime::Payload>())
+      .apply(Filter<runtime::Payload>::by([](const runtime::Payload& s) {
+        return s.view().ends_with("7");
       }))
       .apply(KafkaIO::write(broker, KafkaWriteConfig{.topic = "out"}));
   auto runner = make_runner(GetParam());
@@ -119,9 +119,10 @@ TEST_P(AllRunnersTest, MapPipelineTransformsEveryElement) {
   Pipeline pipeline;
   pipeline.apply(KafkaIO::read(broker, KafkaReadConfig{.topic = "in"}))
       .apply(KafkaIO::without_metadata())
-      .apply(Values<std::string>::create<std::string>())
-      .apply(MapElements<std::string, std::string>::via(
-          [](const std::string& s) { return s.substr(0, 5); }))
+      .apply(Values<runtime::Payload>::create<runtime::Payload>())
+      .apply(MapElements<runtime::Payload, runtime::Payload>::via(
+          // Zero-copy prefix: slice() shares the broker's storage.
+          [](const runtime::Payload& s) { return s.slice(0, 5); }))
       .apply(KafkaIO::write(broker, KafkaWriteConfig{.topic = "out"}));
   auto runner = make_runner(GetParam());
   ASSERT_TRUE(pipeline.run(*runner).is_ok());
@@ -141,10 +142,10 @@ TEST_P(AllRunnersTest, GroupByKeyCollectsAllValuesPerKey) {
   Pipeline pipeline;
   pipeline.apply(KafkaIO::read(broker, KafkaReadConfig{.topic = "in"}))
       .apply(KafkaIO::without_metadata())
-      .apply(Values<std::string>::create<std::string>())
-      .apply(MapElements<std::string, Keyed>::via(
-          [](const std::string& s) {
-            const auto n = std::stoll(s.substr(6));
+      .apply(Values<runtime::Payload>::create<runtime::Payload>())
+      .apply(MapElements<runtime::Payload, Keyed>::via(
+          [](const runtime::Payload& s) {
+            const auto n = std::stoll(std::string(s.view().substr(6)));
             return Keyed{"mod" + std::to_string(n % 4), n};
           }))
       .apply(GroupByKey<std::string, std::int64_t>::create())
@@ -185,9 +186,9 @@ Pipeline& stateful_pipeline(Pipeline& pipeline, kafka::Broker& broker) {
   };
   pipeline.apply(KafkaIO::read(broker, KafkaReadConfig{.topic = "in"}))
       .apply(KafkaIO::without_metadata())
-      .apply(Values<std::string>::create<std::string>())
-      .apply(MapElements<std::string, Keyed>::via(
-          [](const std::string& s) { return Keyed{s, 1}; }))
+      .apply(Values<runtime::Payload>::create<runtime::Payload>())
+      .apply(MapElements<runtime::Payload, Keyed>::via(
+          [](const runtime::Payload& s) { return Keyed{s.str(), 1}; }))
       .apply(ParDo::of<Keyed, std::int64_t>(std::make_shared<Counting>()))
       .apply(MapElements<std::int64_t, std::string>::via(
           [](const std::int64_t& n) { return std::to_string(n); }))
@@ -236,10 +237,10 @@ TEST(FlinkRunnerTest, TranslatedPlanMatchesFig13Shape) {
   Pipeline pipeline;
   pipeline.apply(KafkaIO::read(broker, KafkaReadConfig{.topic = "in"}))
       .apply(KafkaIO::without_metadata())
-      .apply(Values<std::string>::create<std::string>())
-      .apply(Filter<std::string>::by(
-          [](const std::string& s) {
-            return s.find("test") != std::string::npos;
+      .apply(Values<runtime::Payload>::create<runtime::Payload>())
+      .apply(Filter<runtime::Payload>::by(
+          [](const runtime::Payload& s) {
+            return s.view().find("test") != std::string_view::npos;
           },
           "Grep"))
       .apply(KafkaIO::write(broker, KafkaWriteConfig{.topic = "out"}));
@@ -269,7 +270,7 @@ TEST(ApexRunnerTest, TranslatedPlanDeploysOneContainerPerOperator) {
   Pipeline pipeline;
   pipeline.apply(KafkaIO::read(broker, KafkaReadConfig{.topic = "in"}))
       .apply(KafkaIO::without_metadata())
-      .apply(Values<std::string>::create<std::string>())
+      .apply(Values<runtime::Payload>::create<runtime::Payload>())
       .apply(KafkaIO::write(broker, KafkaWriteConfig{.topic = "out"}));
   ApexRunner runner;
   auto plan = runner.translate_plan(pipeline);
@@ -287,7 +288,7 @@ TEST(FlinkRunnerTest, RunReportsPlanAndMetrics) {
   Pipeline pipeline;
   pipeline.apply(KafkaIO::read(broker, KafkaReadConfig{.topic = "in"}))
       .apply(KafkaIO::without_metadata())
-      .apply(Values<std::string>::create<std::string>())
+      .apply(Values<runtime::Payload>::create<runtime::Payload>())
       .apply(KafkaIO::write(broker, KafkaWriteConfig{.topic = "out"}));
   FlinkRunner runner;
   auto result = pipeline.run(runner);
@@ -333,9 +334,10 @@ TEST(AllRunnersWindowedTest, WindowedGroupByKeyAgreesAcrossEngineRunners) {
     load_topic(broker, "in", 90);
     broker.create_topic("out", kafka::TopicConfig{.partitions = 1})
         .expect_ok();
-    struct Stamp final : DoFn<std::string, Keyed> {
+    struct Stamp final : DoFn<runtime::Payload, Keyed> {
       void process(ProcessContext& ctx) override {
-        const std::int64_t n = std::stoll(ctx.element().substr(6));
+        const std::int64_t n =
+            std::stoll(std::string(ctx.element().view().substr(6)));
         ctx.output_with_timestamp(Keyed{"k" + std::to_string(n % 3), n},
                                   n * 10);
       }
@@ -343,8 +345,8 @@ TEST(AllRunnersWindowedTest, WindowedGroupByKeyAgreesAcrossEngineRunners) {
     Pipeline pipeline;
     pipeline.apply(KafkaIO::read(broker, KafkaReadConfig{.topic = "in"}))
         .apply(KafkaIO::without_metadata())
-        .apply(Values<std::string>::create<std::string>())
-        .apply(ParDo::of<std::string, Keyed>(std::make_shared<Stamp>()))
+        .apply(Values<runtime::Payload>::create<runtime::Payload>())
+        .apply(ParDo::of<runtime::Payload, Keyed>(std::make_shared<Stamp>()))
         .apply(WindowInto<Keyed>(fixed_windows(300)))  // 30 stamps/window
         .apply(GroupByKey<std::string, std::int64_t>::create())
         .apply(MapElements<Grouped, std::string>::via([](const Grouped& g) {
@@ -376,8 +378,8 @@ TEST(FlinkRunnerTest, BundleSizeDoesNotAffectResults) {
     Pipeline pipeline;
     pipeline.apply(KafkaIO::read(broker, KafkaReadConfig{.topic = "in"}))
         .apply(KafkaIO::without_metadata())
-        .apply(Values<std::string>::create<std::string>())
-        .apply(Filter<std::string>::by([](const std::string& s) {
+        .apply(Values<runtime::Payload>::create<runtime::Payload>())
+        .apply(Filter<runtime::Payload>::by([](const runtime::Payload& s) {
           return s.size() % 3 != 0;
         }))
         .apply(KafkaIO::write(broker, KafkaWriteConfig{.topic = "out"}));
@@ -407,9 +409,11 @@ TEST(RunnerEquivalenceTest, AllRunnersAgreeWithDirectReference) {
     Pipeline pipeline;
     pipeline.apply(KafkaIO::read(broker, KafkaReadConfig{.topic = "in"}))
         .apply(KafkaIO::without_metadata())
-        .apply(Values<std::string>::create<std::string>())
-        .apply(MapElements<std::string, std::string>::via(
-            [](const std::string& s) { return s + "|x"; }))
+        .apply(Values<runtime::Payload>::create<runtime::Payload>())
+        // Payload -> std::string map exercises the runner's string path and
+        // the KafkaIO::write string-compat overload downstream.
+        .apply(MapElements<runtime::Payload, std::string>::via(
+            [](const runtime::Payload& s) { return s.str() + "|x"; }))
         .apply(Filter<std::string>::by([](const std::string& s) {
           return s.size() % 2 == 0;
         }))

@@ -214,7 +214,12 @@ TEST_P(PipelineFuzzTest, AllRunnersMatchReference) {
             .apply(beam::KafkaIO::read(broker,
                                        beam::KafkaReadConfig{.topic = "in"}))
             .apply(beam::KafkaIO::without_metadata())
-            .apply(beam::Values<std::string>::create<std::string>());
+            .apply(beam::Values<runtime::Payload>::create<runtime::Payload>())
+            // The fuzz stages are string-typed; materialize once so every
+            // seeded stage chain composes unchanged.
+            .apply(beam::MapElements<runtime::Payload, std::string>::via(
+                [](const runtime::Payload& s) { return s.str(); },
+                "Materialize"));
     for (const auto& stage : stages) collection = stage.apply(collection);
     collection.apply(
         beam::KafkaIO::write(broker, beam::KafkaWriteConfig{.topic = "out"}));
@@ -227,7 +232,7 @@ TEST_P(PipelineFuzzTest, AllRunnersMatchReference) {
     std::vector<kafka::StoredRecord> stored;
     broker.fetch({"out", 0}, 0, 1'000'000, stored).status().expect_ok();
     std::vector<std::string> actual;
-    for (auto& record : stored) actual.push_back(std::move(record.value));
+    for (auto& record : stored) actual.push_back(record.value.str());
     std::sort(actual.begin(), actual.end());
     EXPECT_EQ(actual, expected)
         << "seed " << seed << " diverged on " << runner_case.name;

@@ -248,7 +248,7 @@ class NexmarkQueryTest
     std::vector<kafka::StoredRecord> stored;
     broker_.fetch({"out", 0}, 0, 100000, stored).status().expect_ok();
     std::vector<std::string> values;
-    for (auto& record : stored) values.push_back(std::move(record.value));
+    for (auto& record : stored) values.push_back(record.value.str());
     return values;
   }
 

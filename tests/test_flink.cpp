@@ -112,8 +112,8 @@ TEST(FlinkTest, MetricsCountRecords) {
   ASSERT_TRUE(result.is_ok());
   // Chained into one vertex: 50 in at the source, 10 out of the filter...
   // the vertex-level counters see source records in.
-  ASSERT_EQ(result.value().vertices.size(), 1u);
-  EXPECT_EQ(result.value().vertices[0].records_in, 50u);
+  ASSERT_EQ(result.value().vertex_names.size(), 1u);
+  EXPECT_EQ(result.value().records_in(0), 50u);
 }
 
 // --- chaining -------------------------------------------------------------------
@@ -481,7 +481,7 @@ TEST(FlinkKafkaTest, CrashRestartRecoveryIsAtLeastOnce) {
   std::vector<kafka::StoredRecord> out;
   broker.fetch({"out", 0}, 0, 10000, out).status().expect_ok();
   std::set<std::string> distinct;
-  for (const auto& record : out) distinct.insert(record.value);
+  for (const auto& record : out) distinct.insert(record.value.str());
   EXPECT_EQ(distinct.size(), 1000u);                      // no record lost
   EXPECT_GE(out.size(), 1000u);                           // duplicates OK
   EXPECT_LT(out.size(), 1200u);  // replay window bounded by commit cadence

@@ -404,7 +404,7 @@ TEST(ConsumerTest, SubscribeAndPollAll) {
   consumer.subscribe("t").expect_ok();
   std::vector<std::string> seen;
   while (!consumer.at_end()) {
-    for (const auto& record : consumer.poll(0)) seen.push_back(record.value);
+    for (const auto& record : consumer.poll(0)) seen.push_back(record.value.str());
   }
   ASSERT_EQ(seen.size(), 25u);
   for (int i = 0; i < 25; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], std::to_string(i));
@@ -479,7 +479,7 @@ TEST(ConsumerTest, PollBatchAdvancesOffsetsPerBatch) {
       // Offsets inside the batch are dense from the base offset.
       EXPECT_EQ(batch.records[i].offset,
                 batch.base_offset + static_cast<std::int64_t>(i));
-      seen.push_back(batch.records[i].value);
+      seen.push_back(batch.records[i].value.str());
     }
     expected_offset += static_cast<std::int64_t>(batch.size());
     EXPECT_EQ(consumer.positions().front().second, expected_offset);

@@ -78,7 +78,7 @@ class QueryMatrixTest : public ::testing::TestWithParam<Setup> {
         .expect_ok();
     std::vector<std::string> values;
     values.reserve(stored.size());
-    for (auto& record : stored) values.push_back(std::move(record.value));
+    for (auto& record : stored) values.push_back(record.value.str());
     return values;
   }
 

@@ -221,7 +221,7 @@ TEST(DStreamTest, KafkaDirectStreamProcessesBatches) {
   auto lines = ssc.kafka_direct_stream(broker, "in");
   std::atomic<int> seen{0};
   lines.foreach_rdd([&seen](SparkContext& sc,
-                            const RDDPtr<std::string>& rdd) {
+                            const RDDPtr<kafka::Payload>& rdd) {
     seen.fetch_add(static_cast<int>(sc.count(rdd)));
   });
   ASSERT_TRUE(ssc.run_bounded().is_ok());
@@ -239,12 +239,12 @@ TEST(DStreamTest, KafkaReceiverStreamProcessesBatches) {
   }
   StreamingContext ssc(SparkConf{.default_parallelism = 2}, 10);
   auto evens = ssc.kafka_receiver_stream(broker, "in")
-                   .filter([](const std::string& s) {
-                     return std::stoi(s) % 2 == 0;
+                   .filter([](const kafka::Payload& s) {
+                     return std::stoi(s.str()) % 2 == 0;
                    });
   std::atomic<int> seen{0};
   evens.foreach_rdd([&seen](SparkContext& sc,
-                            const RDDPtr<std::string>& rdd) {
+                            const RDDPtr<kafka::Payload>& rdd) {
     seen.fetch_add(static_cast<int>(sc.count(rdd)));
   });
   ASSERT_TRUE(ssc.run_bounded().is_ok());
@@ -262,7 +262,9 @@ TEST(DStreamTest, TransformationsComposePerBatch) {
   }
   StreamingContext ssc(SparkConf{.default_parallelism = 1}, 10);
   auto out = ssc.kafka_direct_stream(broker, "in")
-                 .map<int>([](const std::string& s) { return std::stoi(s); })
+                 .map<int>([](const kafka::Payload& s) {
+                   return std::stoi(s.str());
+                 })
                  .filter([](const int& v) { return v % 5 == 0; });
   std::vector<int> seen;
   std::mutex seen_mutex;
@@ -289,17 +291,19 @@ TEST(DStreamTest, MultipleOutputsShareOneLineagePerBatch) {
   std::atomic<int> transform_calls{0};
   auto stream =
       ssc.kafka_direct_stream(broker, "in")
-          .transform<std::string>(
-              [&transform_calls](RDDPtr<std::string> rdd)
-                  -> RDDPtr<std::string> {
+          .transform<kafka::Payload>(
+              [&transform_calls](RDDPtr<kafka::Payload> rdd)
+                  -> RDDPtr<kafka::Payload> {
                 transform_calls.fetch_add(1);
                 return rdd;
               });
   std::atomic<int> a{0}, b{0};
-  stream.foreach_rdd([&a](SparkContext& sc, const RDDPtr<std::string>& rdd) {
+  stream.foreach_rdd([&a](SparkContext& sc,
+                          const RDDPtr<kafka::Payload>& rdd) {
     a.fetch_add(static_cast<int>(sc.count(rdd)));
   });
-  stream.foreach_rdd([&b](SparkContext& sc, const RDDPtr<std::string>& rdd) {
+  stream.foreach_rdd([&b](SparkContext& sc,
+                          const RDDPtr<kafka::Payload>& rdd) {
     b.fetch_add(static_cast<int>(sc.count(rdd)));
   });
   ASSERT_TRUE(ssc.run_bounded().is_ok());
@@ -307,7 +311,7 @@ TEST(DStreamTest, MultipleOutputsShareOneLineagePerBatch) {
   EXPECT_EQ(b.load(), 10);
   // Memoized per batch: the transform ran once per batch, not per output.
   EXPECT_EQ(transform_calls.load(),
-            static_cast<int>(ssc.batch_history().size()));
+            static_cast<int>(ssc.metrics().counter("batch.count")));
 }
 
 TEST(DStreamTest, ReduceByKeyHelper) {
@@ -322,11 +326,12 @@ TEST(DStreamTest, ReduceByKeyHelper) {
   StreamingContext ssc(SparkConf{.default_parallelism = 2}, 10);
   auto pairs = ssc.kafka_direct_stream(broker, "in")
                    .map<std::pair<std::string, int>>(
-                       [](const std::string& s) {
+                       [](const kafka::Payload& s) {
+                         const int v = std::stoi(s.str());
                          return std::make_pair(
-                             std::stoi(s) % 2 == 0 ? std::string("even")
-                                                   : std::string("odd"),
-                             std::stoi(s));
+                             v % 2 == 0 ? std::string("even")
+                                        : std::string("odd"),
+                             v);
                        });
   auto reduced = reduce_by_key<std::string, int>(
       pairs, [](const int& a, const int& b) { return a + b; }, 2);
@@ -356,7 +361,7 @@ TEST(DStreamTest, WindowUnionsRecentBatches) {
   std::vector<std::size_t> window_sizes;
   std::mutex sizes_mutex;
   windowed.foreach_rdd([&](SparkContext& sc,
-                           const RDDPtr<std::string>& rdd) {
+                           const RDDPtr<kafka::Payload>& rdd) {
     const std::size_t count = sc.count(rdd);
     std::lock_guard lock(sizes_mutex);
     window_sizes.push_back(count);
@@ -391,13 +396,15 @@ TEST(StreamingContextTest, RunBoundedStopsWhenDrained) {
       .expect_ok();
   StreamingContext ssc(SparkConf{.default_parallelism = 1}, 5);
   auto lines = ssc.kafka_direct_stream(broker, "in");
-  lines.foreach_rdd([](SparkContext& sc, const RDDPtr<std::string>& rdd) {
-    (void)sc.count(rdd);
-  });
+  lines.foreach_rdd(
+      [](SparkContext& sc, const RDDPtr<kafka::Payload>& rdd) {
+        (void)sc.count(rdd);
+      });
   ASSERT_TRUE(ssc.run_bounded().is_ok());
-  EXPECT_GE(ssc.batch_history().size(), 2u);  // data batch + empty closer
-  EXPECT_EQ(ssc.batch_history().front().input_records, 1u);
-  EXPECT_EQ(ssc.batch_history().back().input_records, 0u);
+  const auto snapshot = ssc.metrics();
+  EXPECT_GE(snapshot.counter("batch.count"), 2u);  // data batch + empty closer
+  EXPECT_EQ(snapshot.counter("input.records"), 1u);
+  EXPECT_EQ(snapshot.gauge("batch.last_input_records"), 0.0);
 }
 
 TEST(StreamingContextTest, StartStopStreamsContinuously) {
@@ -407,7 +414,7 @@ TEST(StreamingContextTest, StartStopStreamsContinuously) {
   auto lines = ssc.kafka_direct_stream(broker, "in");
   std::atomic<int> seen{0};
   lines.foreach_rdd([&seen](SparkContext& sc,
-                            const RDDPtr<std::string>& rdd) {
+                            const RDDPtr<kafka::Payload>& rdd) {
     seen.fetch_add(static_cast<int>(sc.count(rdd)));
   });
   ASSERT_TRUE(ssc.start().is_ok());
@@ -440,8 +447,8 @@ TEST(StreamingContextTest, WriteToKafkaEndToEnd) {
   }
   StreamingContext ssc(SparkConf{.default_parallelism = 2}, 10);
   auto evens = ssc.kafka_direct_stream(broker, "in")
-                   .filter([](const std::string& s) {
-                     return std::stoi(s) % 2 == 0;
+                   .filter([](const kafka::Payload& s) {
+                     return std::stoi(s.str()) % 2 == 0;
                    });
   write_to_kafka(evens, broker, KafkaWriteConfig{.topic = "out"});
   ASSERT_TRUE(ssc.run_bounded().is_ok());

@@ -115,7 +115,7 @@ class StreamSqlRunTest : public ::testing::Test {
     std::vector<kafka::StoredRecord> stored;
     broker_.fetch({"output", 0}, 0, 10000, stored).status().expect_ok();
     std::vector<std::string> values;
-    for (auto& record : stored) values.push_back(std::move(record.value));
+    for (auto& record : stored) values.push_back(record.value.str());
     return values;
   }
 
