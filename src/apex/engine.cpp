@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <memory>
 #include <set>
 #include <utility>
 
 #include "common/clock.hpp"
 #include "common/queue.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/task_runtime.hpp"
 
 namespace dsps::apex {
@@ -229,12 +231,13 @@ Result<std::string> render_physical_plan(const Dag& dag) {
   return out;
 }
 
-Result<runtime::MetricsSnapshot> launch_application(yarn::ResourceManager& rm,
-                                                    const Dag& dag,
-                                                    const EngineConfig& config) {
-  if (Status s = dag.validate(); !s.is_ok()) return s;
-  const PhysicalPlan plan = build_physical_plan(dag);
+namespace {
 
+/// One YARN application attempt: fresh operator instances, mailboxes and
+/// per-attempt metrics — exactly what a STRAM relaunch redeploys.
+Result<runtime::MetricsSnapshot> run_application_attempt(
+    yarn::ResourceManager& rm, const Dag& dag, const EngineConfig& config,
+    const PhysicalPlan& plan) {
   // Instantiate operators.
   std::vector<std::unique_ptr<Operator>> operators;
   operators.reserve(plan.instances.size());
@@ -442,6 +445,22 @@ Result<runtime::MetricsSnapshot> launch_application(yarn::ResourceManager& rm,
   // TaskRuntime. A throwing operator fails the app — the handler trips the
   // abort flag (stops input loops) and closes every mailbox (unwedges
   // blocked producers and consumers) — and join_all() surfaces the Status.
+  // Committed-window tracking (STRAM's CheckpointListener protocol): every
+  // group publishes the newest window it has fully closed; the input group
+  // fires committed(min over all groups), so offsets become durable only
+  // once every deployed group has processed the window that produced them.
+  std::vector<std::atomic<WindowId>> completed_windows(groups.size());
+  for (auto& window : completed_windows) {
+    window.store(-1, std::memory_order_relaxed);
+  }
+  auto min_completed_window = [&completed_windows]() -> WindowId {
+    WindowId min_window = std::numeric_limits<WindowId>::max();
+    for (const auto& window : completed_windows) {
+      min_window = std::min(min_window, window.load(std::memory_order_acquire));
+    }
+    return min_window;
+  };
+
   runtime::TaskRuntime tasks("apex-app");
   std::atomic<bool> aborted{false};
   tasks.set_failure_handler([&groups, &aborted](const Status& /*failure*/) {
@@ -467,6 +486,7 @@ Result<runtime::MetricsSnapshot> launch_application(yarn::ResourceManager& rm,
   };
 
   auto group_body = [&](GroupRuntime& group) {
+    auto& injector = runtime::FaultInjector::instance();
     for (std::size_t i = 0; i < group.operators.size(); ++i) {
       group.operators[i]->setup(group.contexts[i]);
     }
@@ -474,11 +494,18 @@ Result<runtime::MetricsSnapshot> launch_application(yarn::ResourceManager& rm,
       WindowId window = 0;
       bool more = true;
       while (more && !aborted.load(std::memory_order_acquire)) {
+        injector.maybe_throw(runtime::FaultPoint::kOperatorThrow,
+                             "apex.window");
         for (auto* op : group.operators) op->begin_window(window);
         send_markers(group, Mail::Kind::kBeginWindow, window);
         more = group.input->emit_tuples(config.window_tuple_budget);
         for (auto* op : group.operators) op->end_window();
         send_markers(group, Mail::Kind::kEndWindow, window);
+        completed_windows[static_cast<std::size_t>(group.id)].store(
+            window, std::memory_order_release);
+        if (const WindowId done = min_completed_window(); done >= 0) {
+          for (auto* op : group.operators) op->committed(done);
+        }
         windows_emitted.add();
         ++window;
       }
@@ -502,6 +529,8 @@ Result<runtime::MetricsSnapshot> launch_application(yarn::ResourceManager& rm,
       const std::size_t drained =
           group.mailbox->pop_batch(inbox, inbox.capacity());
       if (drained == 0) break;
+      injector.maybe_throw(runtime::FaultPoint::kOperatorThrow,
+                           "apex.mailbox");
       for (auto& mail : inbox) {
         switch (mail.kind) {
           case Mail::Kind::kData: {
@@ -533,6 +562,8 @@ Result<runtime::MetricsSnapshot> launch_application(yarn::ResourceManager& rm,
                 for (auto* op : group.operators) op->end_window();
                 send_markers(group, Mail::Kind::kEndWindow, current_window);
                 in_window = false;
+                completed_windows[static_cast<std::size_t>(group.id)].store(
+                    current_window, std::memory_order_release);
               }
             }
             break;
@@ -545,6 +576,8 @@ Result<runtime::MetricsSnapshot> launch_application(yarn::ResourceManager& rm,
     if (in_window) {
       for (auto* op : group.operators) op->end_window();
       send_markers(group, Mail::Kind::kEndWindow, current_window);
+      completed_windows[static_cast<std::size_t>(group.id)].store(
+          current_window, std::memory_order_release);
     }
     for (auto* op : group.operators) op->end_stream();
     send_markers(group, Mail::Kind::kEndStream, current_window);
@@ -609,10 +642,41 @@ Result<runtime::MetricsSnapshot> launch_application(yarn::ResourceManager& rm,
           am.release(container);
         }
       });
+  // Tuples the failed attempt had already delivered downstream; the next
+  // attempt re-reads everything past the last committed offsets, so this
+  // upper-bounds the replay.
+  auto note_replayed = [&registry] {
+    std::uint64_t replayed = 0;
+    for (const auto& [name, value] :
+         registry.snapshot().counters_with_prefix("operator.")) {
+      (void)name;
+      replayed += value;
+    }
+    runtime::MetricsRegistry::global()
+        .counter("apex.recovery.replayed_records")
+        .add(replayed);
+  };
+
   if (!app_id.is_ok()) return app_id.status();
   rm.await_application(app_id.value());
-  if (Status joined = tasks.join_all(); !joined.is_ok()) return joined;
-  if (!failure.is_ok()) return failure;
+  if (Status joined = tasks.join_all(); !joined.is_ok()) {
+    note_replayed();
+    return joined;
+  }
+  if (!failure.is_ok()) {
+    note_replayed();
+    return failure;
+  }
+
+  // Clean completion: every group closed the final window, so its offsets
+  // are safe to make durable. (Mid-run committed() calls stop at the min
+  // completed window; this closes the tail.)
+  if (const WindowId done = min_completed_window(); done >= 0) {
+    for (auto& group : groups) {
+      if (!group.is_input) continue;
+      for (auto* op : group.operators) op->committed(done);
+    }
+  }
 
   registry.gauge("app.duration_ms").set(watch.elapsed_ms());
   registry.gauge("app.containers").set(plan.container_count);
@@ -621,6 +685,44 @@ Result<runtime::MetricsSnapshot> launch_application(yarn::ResourceManager& rm,
   runtime::MetricsSnapshot snapshot = registry.snapshot();
   runtime::MetricsRegistry::global().merge(snapshot, "apex.");
   return snapshot;
+}
+
+}  // namespace
+
+Result<runtime::MetricsSnapshot> launch_application(yarn::ResourceManager& rm,
+                                                    const Dag& dag,
+                                                    const EngineConfig& config) {
+  if (Status s = dag.validate(); !s.is_ok()) return s;
+  const PhysicalPlan plan = build_physical_plan(dag);
+
+  const runtime::RestartPolicy policy{
+      .max_attempts = std::max(1, config.max_attempts),
+      .backoff = config.restart_backoff};
+  Result<runtime::MetricsSnapshot> outcome =
+      Status::internal("application never ran");
+  Stopwatch recovery_watch;
+  bool restarted = false;
+  const Status final_status = runtime::run_supervised(
+      policy,
+      [&](int /*attempt*/) -> Status {
+        auto result = run_application_attempt(rm, dag, config, plan);
+        if (!result.is_ok()) return result.status();
+        outcome = std::move(result);
+        return Status::ok();
+      },
+      [&](int /*attempt*/, const Status& /*error*/) {
+        restarted = true;
+        runtime::MetricsRegistry::global()
+            .counter("apex.recovery.restarts")
+            .add(1);
+      });
+  if (!final_status.is_ok()) return final_status;
+  if (restarted) {
+    runtime::MetricsRegistry::global()
+        .gauge("apex.recovery.time_ms")
+        .set(recovery_watch.elapsed_ms());
+  }
+  return outcome;
 }
 
 }  // namespace dsps::apex

@@ -18,6 +18,7 @@
 
 #include "common/status.hpp"
 #include "apex/dag.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/metrics.hpp"
 #include "yarn/resource_manager.hpp"
 
@@ -30,6 +31,13 @@ struct EngineConfig {
   /// Resources requested per operator instance.
   int vcores_per_instance = 1;
   int memory_mb_per_instance = 256;
+  /// YARN application attempts (STRAM relaunch on failure): a failed
+  /// attempt tears every container down and redeploys fresh operator
+  /// instances. Kafka inputs configured with a consumer group resume from
+  /// their committed offsets, so a reattempt replays only windows past the
+  /// last committed one — at-least-once end to end.
+  int max_attempts = 1;
+  runtime::BackoffPolicy restart_backoff{};
 };
 
 /// Validates, deploys via the ResourceManager, runs to completion (bounded

@@ -47,6 +47,12 @@ class Operator {
   /// propagates downstream — last chance to emit buffered results.
   virtual void end_stream() {}
   virtual void teardown() {}
+  /// STRAM's committed-window notification (Apex's CheckpointListener):
+  /// every operator in the DAG has fully processed window `window`, so
+  /// state bound to it — e.g. the Kafka input's read offsets — may be made
+  /// durable. Fires at window boundaries with the min completed window
+  /// across all deployed groups.
+  virtual void committed(WindowId /*window*/) {}
 
   // --- engine-facing surface ---
   int input_port_count() const {

@@ -7,16 +7,27 @@ namespace dsps::apex {
 using runtime::Payload;
 
 KafkaPayloadInput::KafkaPayloadInput(kafka::Broker& broker, std::string topic)
-    : broker_(broker), topic_(std::move(topic)), out_(register_output()) {}
+    : KafkaPayloadInput(broker, Config{.topic = std::move(topic)}) {}
+
+KafkaPayloadInput::KafkaPayloadInput(kafka::Broker& broker, Config config)
+    : broker_(broker), config_(std::move(config)), out_(register_output()) {}
 
 void KafkaPayloadInput::setup(const OperatorContext& /*context*/) {
   consumer_ = std::make_unique<kafka::Consumer>(
-      broker_, kafka::ConsumerConfig{.max_poll_records = 2048});
-  const auto partitions = broker_.partition_count(topic_);
+      broker_,
+      kafka::ConsumerConfig{.group_id = config_.group_id,
+                            .max_poll_records = config_.max_poll_records});
+  const auto partitions = broker_.partition_count(config_.topic);
   partitions.status().expect_ok();
   for (int p = 0; p < partitions.value(); ++p) {
-    const kafka::TopicPartition tp{topic_, p};
-    consumer_->assign(tp, 0).expect_ok();
+    const kafka::TopicPartition tp{config_.topic, p};
+    std::int64_t start = 0;
+    if (!config_.group_id.empty()) {
+      const std::int64_t committed =
+          broker_.committed_offset(config_.group_id, tp);
+      if (committed >= 0) start = committed;
+    }
+    consumer_->assign(tp, start).expect_ok();
     const auto end = broker_.end_offset(tp);
     end.status().expect_ok();
     bounded_end_.push_back(end.value());
@@ -25,8 +36,11 @@ void KafkaPayloadInput::setup(const OperatorContext& /*context*/) {
 
 bool KafkaPayloadInput::emit_tuples(std::size_t budget) {
   std::size_t emitted = 0;
+  bool broker_closed = false;
+  kafka::FetchBatch batch;
   while (emitted < budget) {
-    auto batch = consumer_->poll_batch(/*timeout_ms=*/0);
+    const kafka::FetchState state = consumer_->poll_batch(0, batch);
+    broker_closed = state == kafka::FetchState::kClosed;
     if (batch.empty()) break;
     for (auto& record : batch.records) {
       // The record's value is already a refcounted slice of the broker's
@@ -34,12 +48,52 @@ bool KafkaPayloadInput::emit_tuples(std::size_t budget) {
       emit(out_, make_tuple_of<Payload>(std::move(record.value)));
       ++emitted;
     }
+    if (broker_closed) break;
   }
+  if (broker_closed) return false;  // mid-shutdown: that was the final batch
   const auto positions = consumer_->positions();
   for (std::size_t i = 0; i < positions.size(); ++i) {
     if (positions[i].second < bounded_end_[i]) return true;
   }
   return false;
+}
+
+void KafkaPayloadInput::begin_window(WindowId window) {
+  current_window_ = window;
+}
+
+void KafkaPayloadInput::end_window() {
+  if (config_.group_id.empty()) return;
+  // Snapshot the read positions at this window boundary; they become
+  // durable only when STRAM reports the window committed across the DAG.
+  uncommitted_.push_back(
+      WindowOffsets{current_window_, consumer_->positions()});
+}
+
+void KafkaPayloadInput::committed(WindowId window) {
+  if (config_.group_id.empty()) return;
+  // Commit the newest snapshot at or below the committed window, drop all
+  // snapshots it supersedes.
+  const WindowOffsets* newest = nullptr;
+  for (const auto& snapshot : uncommitted_) {
+    if (snapshot.window <= window &&
+        (newest == nullptr || snapshot.window > newest->window)) {
+      newest = &snapshot;
+    }
+  }
+  if (newest == nullptr) return;
+  commit_positions(newest->positions);
+  std::erase_if(uncommitted_, [window](const WindowOffsets& snapshot) {
+    return snapshot.window <= window;
+  });
+}
+
+void KafkaPayloadInput::commit_positions(
+    const std::vector<std::pair<kafka::TopicPartition, std::int64_t>>&
+        positions) {
+  for (const auto& [tp, offset] : positions) {
+    broker_.commit_offset(config_.group_id, tp, offset);
+  }
 }
 
 KafkaPayloadOutput::KafkaPayloadOutput(kafka::Broker& broker, Config config)
@@ -81,6 +135,13 @@ FunctionOperator::FunctionOperator(Fn fn)
 OperatorFactory kafka_input_factory(kafka::Broker& broker, std::string topic) {
   return [&broker, topic] {
     return std::make_unique<KafkaPayloadInput>(broker, topic);
+  };
+}
+
+OperatorFactory kafka_input_factory(kafka::Broker& broker,
+                                    KafkaPayloadInput::Config config) {
+  return [&broker, config] {
+    return std::make_unique<KafkaPayloadInput>(broker, config);
   };
 }
 

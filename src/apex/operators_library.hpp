@@ -27,19 +27,49 @@ namespace dsps::apex {
 /// broker's storage.
 class KafkaPayloadInput final : public InputOperator {
  public:
+  struct Config {
+    std::string topic;
+    /// Consumer group for offset recovery. When set, the input resumes
+    /// from the group's committed offsets at setup and commits offsets as
+    /// STRAM's committed-window notifications arrive (committed()), i.e.
+    /// only once every deployed group has fully processed the window whose
+    /// outputs those offsets produced — at-least-once on relaunch.
+    std::string group_id;
+    std::size_t max_poll_records = 2048;
+  };
+
   KafkaPayloadInput(kafka::Broker& broker, std::string topic);
+  KafkaPayloadInput(kafka::Broker& broker, Config config);
 
   void setup(const OperatorContext& context) override;
   bool emit_tuples(std::size_t budget) override;
+  void begin_window(WindowId window) override;
+  void end_window() override;
+  /// Offsets become durable ONLY here (never at teardown): committing on
+  /// teardown would race a downstream group failing after this input group
+  /// completed, making offsets durable for output that never flushed. The
+  /// engine fires a final committed() after every group completes cleanly.
+  void committed(WindowId window) override;
 
   int output_port() const noexcept { return out_; }
 
  private:
+  struct WindowOffsets {
+    WindowId window = 0;
+    std::vector<std::pair<kafka::TopicPartition, std::int64_t>> positions;
+  };
+
+  void commit_positions(
+      const std::vector<std::pair<kafka::TopicPartition, std::int64_t>>&
+          positions);
+
   kafka::Broker& broker_;
-  std::string topic_;
+  Config config_;
   int out_;
   std::unique_ptr<kafka::Consumer> consumer_;
   std::vector<std::int64_t> bounded_end_;
+  WindowId current_window_ = 0;
+  std::vector<WindowOffsets> uncommitted_;  // per closed, not-yet-committed window
 };
 
 /// Kafka output with configurable producer batching. Input port 0 accepts
@@ -91,6 +121,8 @@ class FunctionOperator final : public Operator {
 
 /// Convenience factories.
 OperatorFactory kafka_input_factory(kafka::Broker& broker, std::string topic);
+OperatorFactory kafka_input_factory(kafka::Broker& broker,
+                                    KafkaPayloadInput::Config config);
 OperatorFactory kafka_output_factory(kafka::Broker& broker,
                                      KafkaPayloadOutput::Config config);
 OperatorFactory map_payload_factory(

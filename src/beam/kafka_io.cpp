@@ -59,13 +59,20 @@ class KafkaSourceReader final : public SourceReader {
 
   void open() override {
     consumer_ = std::make_unique<kafka::Consumer>(
-        broker_, kafka::ConsumerConfig{.max_poll_records = 1000});
+        broker_, kafka::ConsumerConfig{.group_id = config_.group_id,
+                                       .max_poll_records = 1000});
     const auto partitions = broker_.partition_count(config_.topic);
     partitions.status().expect_ok();
     for (int p = 0; p < partitions.value(); ++p) {
       if (p % num_shards_ != shard_) continue;
       const kafka::TopicPartition tp{config_.topic, p};
-      consumer_->assign(tp, 0).expect_ok();
+      std::int64_t start = 0;
+      if (config_.resume_from_group && !config_.group_id.empty()) {
+        const std::int64_t committed =
+            broker_.committed_offset(config_.group_id, tp);
+        if (committed >= 0) start = committed;
+      }
+      consumer_->assign(tp, start).expect_ok();
       const auto end = broker_.end_offset(tp);
       end.status().expect_ok();
       bounded_end_.push_back(end.value());
@@ -74,10 +81,21 @@ class KafkaSourceReader final : public SourceReader {
 
   bool advance(Element& out) override {
     while (buffer_index_ >= batch_.records.size()) {
-      if (done()) return false;
-      batch_ = consumer_->poll_batch(/*timeout_ms=*/5);
+      if (done()) {
+        commit_if_due(/*force=*/true);
+        return false;
+      }
+      const kafka::FetchState state = consumer_->poll_batch(5, batch_);
       buffer_index_ = 0;
-      if (batch_.empty() && done()) return false;
+      commit_if_due(/*force=*/false);
+      if (state == kafka::FetchState::kClosed && batch_.empty()) {
+        // Broker mid-shutdown: the final batch was empty, stop reading.
+        return false;
+      }
+      if (batch_.empty() && done()) {
+        commit_if_due(/*force=*/true);
+        return false;
+      }
     }
     auto& record = batch_.records[buffer_index_++];
     // The raw element: the full record with metadata, stamped with the
@@ -107,6 +125,15 @@ class KafkaSourceReader final : public SourceReader {
     return true;
   }
 
+  void commit_if_due(bool force) {
+    if (!config_.resume_from_group || config_.group_id.empty()) return;
+    if (!force && ++batches_since_commit_ < config_.commit_every_batches) {
+      return;
+    }
+    consumer_->commit();
+    batches_since_commit_ = 0;
+  }
+
   kafka::Broker& broker_;
   KafkaReadConfig config_;
   int shard_;
@@ -115,6 +142,7 @@ class KafkaSourceReader final : public SourceReader {
   std::vector<std::int64_t> bounded_end_;
   kafka::FetchBatch batch_;
   std::size_t buffer_index_ = 0;
+  int batches_since_commit_ = 0;
 };
 
 /// The writer DoFn: produces at process() time, flushes at bundle

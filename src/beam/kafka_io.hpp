@@ -63,6 +63,16 @@ struct CoderTraits<ProducerRecordStub> {
 struct KafkaReadConfig {
   std::string topic;
   bool bounded = true;
+  /// Offset bookkeeping à la Kafka auto-commit: when `group_id` is set and
+  /// `resume_from_group` is true, readers start from the group's committed
+  /// offsets and commit every `commit_every_batches` fetched batches. Like
+  /// auto-commit, offsets can run ahead of downstream flushes, so a crash
+  /// may skip in-flight records on resume; the Beam *recovery* path
+  /// therefore restarts with a fresh group (full replay, at-least-once),
+  /// and this knob exists for incremental-rerun scenarios. Off by default.
+  std::string group_id;
+  bool resume_from_group = false;
+  int commit_every_batches = 4;
 };
 
 struct KafkaWriteConfig {

@@ -7,10 +7,26 @@
 #include <string>
 
 #include "common/status.hpp"
+#include "runtime/fault.hpp"
 
 namespace dsps::beam {
 
 class Pipeline;
+
+/// One portable restart hint, translated by each runner onto the engine's
+/// native recovery mechanism (the Beam model has no recovery API of its
+/// own — resilience is whatever the underlying engine provides):
+///  * FlinkRunner — fixed-delay job restart: the whole translated job is
+///    re-executed from scratch (full source re-read, at-least-once);
+///  * SparkRunner — micro-batch retry: a failed batch re-runs against the
+///    same claimed offset range;
+///  * ApexRunner  — YARN application reattempt: STRAM redeploys fresh
+///    operator instances which re-read the bounded input.
+struct RestartHint {
+  /// Extra attempts beyond the first (0 = fail fast).
+  int max_restarts = 0;
+  runtime::BackoffPolicy backoff{};
+};
 
 enum class PipelineState { kDone, kFailed };
 

@@ -163,7 +163,12 @@ Result<PipelineResult> ApexRunner::run(const Pipeline& pipeline) {
   }
 
   const auto plan = apex::render_physical_plan(dag);
-  auto metrics = apex::launch_application(rm, dag, apex::EngineConfig{});
+  // The restart hint maps onto YARN application reattempts; the Beam
+  // readers are rebuilt per attempt and re-read the bounded input.
+  apex::EngineConfig engine_config;
+  engine_config.max_attempts = 1 + std::max(0, options_.restart.max_restarts);
+  engine_config.restart_backoff = options_.restart.backoff;
+  auto metrics = apex::launch_application(rm, dag, engine_config);
   if (!metrics.is_ok()) return metrics.status();
 
   PipelineResult result;

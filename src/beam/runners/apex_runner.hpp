@@ -25,6 +25,10 @@ struct ApexRunnerOptions {
   int cluster_nodes = 2;
   int vcores_per_node = 64;
   int memory_mb_per_node = 65536;
+  /// Translated to YARN application reattempts: STRAM redeploys fresh
+  /// operator instances; Beam readers are one-shot, so a reattempt re-reads
+  /// the bounded input from the beginning (at-least-once).
+  RestartHint restart{};
 };
 
 class ApexRunner final : public PipelineRunner {

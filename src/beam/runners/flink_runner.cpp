@@ -1,10 +1,12 @@
 #include "beam/runners/flink_runner.hpp"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <utility>
 
 #include "flink/environment.hpp"
+#include "runtime/metrics.hpp"
 
 namespace dsps::beam {
 
@@ -136,11 +138,11 @@ Status translate(const Pipeline& pipeline, const FlinkRunnerOptions& options,
   return Status::ok();
 }
 
-}  // namespace
-
-Result<PipelineResult> FlinkRunner::run(const Pipeline& pipeline) {
+/// One job execution: a fresh environment and fresh source readers.
+Result<PipelineResult> run_once(const Pipeline& pipeline,
+                                const FlinkRunnerOptions& options) {
   flink::StreamExecutionEnvironment env;
-  if (Status s = translate(pipeline, options_, env); !s.is_ok()) return s;
+  if (Status s = translate(pipeline, options, env); !s.is_ok()) return s;
   const std::string plan = env.execution_plan();
   auto job = env.execute("beam-flink-job");
   if (!job.is_ok()) return job.status();
@@ -158,6 +160,33 @@ Result<PipelineResult> FlinkRunner::run(const Pipeline& pipeline) {
         job.value().records_in(static_cast<int>(i));
   }
   return result;
+}
+
+}  // namespace
+
+Result<PipelineResult> FlinkRunner::run(const Pipeline& pipeline) {
+  // Fixed-delay restart strategy: each attempt rebuilds the translated job
+  // from the Beam graph (new environment, new readers) and re-executes it
+  // from scratch — how Flink restarts a job that has no checkpoint state.
+  const runtime::RestartPolicy policy{
+      .max_attempts = 1 + std::max(0, options_.restart.max_restarts),
+      .backoff = options_.restart.backoff};
+  Result<PipelineResult> outcome = Status::internal("job never ran");
+  const Status final_status = runtime::run_supervised(
+      policy,
+      [&](int /*attempt*/) -> Status {
+        auto attempt_result = run_once(pipeline, options_);
+        if (!attempt_result.is_ok()) return attempt_result.status();
+        outcome = std::move(attempt_result);
+        return Status::ok();
+      },
+      [](int /*attempt*/, const Status& /*error*/) {
+        runtime::MetricsRegistry::global()
+            .counter("flink.recovery.restarts")
+            .add(1);
+      });
+  if (!final_status.is_ok()) return final_status;
+  return outcome;
 }
 
 Result<std::string> FlinkRunner::translate_plan(

@@ -21,6 +21,11 @@ struct FlinkRunnerOptions {
   int parallelism = 1;
   /// Elements per bundle; the writer flushes at bundle boundaries.
   std::size_t bundle_size = 1000;
+  /// Translated to Flink's fixed-delay restart strategy: on failure, the
+  /// whole job is rebuilt and re-executed from scratch (full source
+  /// re-read, at-least-once — the translated job runs without Beam-side
+  /// checkpoint state).
+  RestartHint restart{};
 };
 
 class FlinkRunner final : public PipelineRunner {

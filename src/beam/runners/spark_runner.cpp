@@ -163,6 +163,10 @@ Result<PipelineResult> SparkRunner::run(const Pipeline& pipeline) {
   conf.app_name = "beam-spark-job";
   conf.default_parallelism = options_.parallelism;
   spark::StreamingContext ssc(conf, options_.batch_interval_ms);
+  // The restart hint maps onto Spark's native mechanism: per-batch retry
+  // against the same cached RDD.
+  ssc.set_batch_retries(std::max(0, options_.restart.max_restarts),
+                        options_.restart.backoff);
 
   // Translate nodes to DStreams.
   std::map<int, spark::DStream<Element>> translated;

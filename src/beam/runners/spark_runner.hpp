@@ -23,6 +23,9 @@ struct SparkRunnerOptions {
   /// spark.default.parallelism (§III-A2).
   int parallelism = 1;
   std::int64_t batch_interval_ms = 50;
+  /// Translated to Spark's micro-batch retry: a failed batch re-runs
+  /// against the same cached RDD (same input slice), at-least-once.
+  RestartHint restart{};
 };
 
 class SparkRunner final : public PipelineRunner {

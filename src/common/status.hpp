@@ -24,6 +24,7 @@ enum class StatusCode {
   kUnsupported,
   kInternal,
   kClosed,
+  kUnavailable,
 };
 
 /// Human-readable name of a status code, e.g. "InvalidArgument".
@@ -61,6 +62,9 @@ class [[nodiscard]] Status {
   static Status closed(std::string msg) {
     return {StatusCode::kClosed, std::move(msg)};
   }
+  static Status unavailable(std::string msg) {
+    return {StatusCode::kUnavailable, std::move(msg)};
+  }
 
   bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
   StatusCode code() const noexcept { return code_; }
@@ -95,6 +99,7 @@ inline std::string_view status_code_name(StatusCode code) noexcept {
     case StatusCode::kUnsupported: return "Unsupported";
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kClosed: return "Closed";
+    case StatusCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }

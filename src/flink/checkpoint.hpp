@@ -1,0 +1,51 @@
+// Barrier-style checkpointing for chained Flink-sim pipelines.
+//
+// Real Flink injects checkpoint barriers at the sources; when a barrier has
+// flowed through every operator, the checkpoint (source offsets + sink
+// transaction) commits atomically. Our native pipelines are *chained* — the
+// source, the query operator and the sink run in one task thread — so a
+// barrier degenerates to a synchronous epoch boundary at a poll boundary:
+// everything the source emitted has already reached the sink. The
+// CheckpointCoordinator exploits that: at each barrier the source asks the
+// coordinator to commit its subtask's sink epoch (flush buffered output to
+// the broker), then commits its own consumer offsets. A crash between
+// barriers discards the open epoch on both sides — the uncommitted output
+// was never flushed, the uncommitted offsets replay — which is what makes
+// the recovered output exactly-once rather than merely at-least-once.
+//
+// The miniature treats "flush sink, then commit offsets" as atomic (no
+// fault point fires between the two); real Flink closes that window with
+// Kafka transactions (two-phase commit). DESIGN.md §5c spells out the gap.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace dsps::flink {
+
+class CheckpointCoordinator {
+ public:
+  /// Registers a sink's epoch-commit callback for `subtask`. Called from
+  /// the sink's open(); the callback flushes the sink's buffered epoch.
+  void register_sink(int subtask, std::function<void()> commit_epoch);
+
+  /// Epoch boundary for one subtask's chain: commits every registered sink
+  /// of that subtask. The caller (the source) commits its offsets after.
+  void barrier(int subtask);
+
+  /// Completed barriers across all subtasks (for tests and metrics).
+  std::uint64_t completed() const noexcept {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<int, std::vector<std::function<void()>>> sinks_;
+  std::atomic<std::uint64_t> completed_{0};
+};
+
+}  // namespace dsps::flink

@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "flink/checkpoint.hpp"
 #include "flink/operators.hpp"
 #include "kafka/broker.hpp"
 #include "kafka/consumer.hpp"
@@ -27,6 +28,12 @@ struct KafkaSourceConfig {
   /// consumer without transactional sinks).
   bool resume_from_group = false;
   int commit_every_polls = 1;
+  /// Barrier-style checkpointing: when set, every `checkpoint_interval_polls`
+  /// polls the source runs a barrier (committing its chain's sink epochs via
+  /// the coordinator) and then commits its own offsets. Requires the sink of
+  /// the same chain to share the coordinator — see KafkaSinkConfig.
+  std::shared_ptr<CheckpointCoordinator> checkpoint;
+  int checkpoint_interval_polls = 4;
 };
 
 /// Emits record values as kafka::Payload elements (refcounted slices of the
@@ -41,11 +48,17 @@ class KafkaStringSource final : public SourceFunction {
   void run(SourceContext& context) override;
 
  private:
+  /// The poll loop; `uncommitted` tracks records emitted past the last
+  /// offset commit so run() can account the replay a crash here causes.
+  void run_loop(SourceContext& context, std::size_t& uncommitted);
+
   kafka::Broker& broker_;
   KafkaSourceConfig config_;
   std::unique_ptr<kafka::Consumer> consumer_;
   std::vector<std::int64_t> bounded_end_;  // per assigned partition
   std::vector<kafka::TopicPartition> assigned_;
+  int subtask_index_ = 0;
+  std::string fault_site_;  // precomputed: no per-poll allocation
 };
 
 struct KafkaSinkConfig {
@@ -53,6 +66,16 @@ struct KafkaSinkConfig {
   int partition = 0;
   kafka::Acks acks = kafka::Acks::kLeader;
   std::size_t batch_size = 500;
+  /// Barrier participation: when set, the sink registers with the
+  /// coordinator so the source's barrier makes its output durable before
+  /// offsets are committed (output-before-offsets, the invariant both
+  /// recovery modes need).
+  std::shared_ptr<CheckpointCoordinator> checkpoint;
+  /// With `checkpoint` set: true buffers each epoch and releases it only at
+  /// the barrier — a crash discards the open epoch, so replayed input
+  /// produces each output exactly once. false writes through and merely
+  /// flushes at the barrier — duplicates on replay, at-least-once.
+  bool transactional = true;
 };
 
 /// Writes kafka::Payload elements as record values.
@@ -66,9 +89,12 @@ class KafkaStringSink final : public SinkFunction {
   void close() override;
 
  private:
+  void commit_epoch();
+
   kafka::Broker& broker_;
   KafkaSinkConfig config_;
   std::unique_ptr<kafka::Producer> producer_;
+  std::vector<kafka::Payload> pending_;  // open epoch (transactional mode)
 };
 
 /// Factory helpers for the DataStream API.

@@ -86,6 +86,8 @@ class Router {
   void flush_channel(std::size_t index) {
     auto& stage = pending_[index];
     if (stage.empty()) return;
+    runtime::FaultInjector::instance().maybe_stall(
+        runtime::FaultPoint::kQueueStall, "flink.channel");
     channels_[index]->push_batch(std::move(stage));
     stage.clear();
     stage.reserve(kBatchSize);
@@ -420,8 +422,10 @@ Result<std::shared_ptr<JobHandle::State>> launch(const StreamGraph& graph,
       int eos_seen = 0;
       std::vector<Envelope> batch;
       batch.reserve(Router::kBatchSize);
+      auto& injector = runtime::FaultInjector::instance();
       while (eos_seen < task->eos_expected) {
         batch.clear();
+        injector.maybe_throw(runtime::FaultPoint::kOperatorThrow, task->name);
         const std::size_t n = task->input->pop_batch(batch, batch.capacity());
         if (n == 0) break;  // channel closed defensively
         std::uint64_t data_records = 0;

@@ -89,4 +89,57 @@ std::string to_csv(const MeasurementSet& set) {
   return out;
 }
 
+std::string render_recovery_summary(const runtime::MetricsSnapshot& snapshot) {
+  struct EngineRow {
+    const char* name;
+    const char* restarts;  // counter
+    const char* replayed;  // counter
+    const char* time_ms;   // gauge; nullptr = engine records no wall-time
+  };
+  // Spark retries inside the driver loop, so its recovery time is folded
+  // into batch duration and has no separate gauge.
+  constexpr EngineRow kEngines[] = {
+      {"Flink", "flink.recovery.restarts", "flink.recovery.replayed_records",
+       "flink.recovery.time_ms"},
+      {"Spark", "spark.recovery.batch_retries",
+       "spark.recovery.replayed_records", nullptr},
+      {"Apex", "apex.recovery.restarts", "apex.recovery.replayed_records",
+       "apex.recovery.time_ms"},
+  };
+
+  const std::uint64_t injected = snapshot.counter("fault.injected");
+  const std::uint64_t task_restarts = snapshot.counter("runtime.task_restarts");
+  const std::uint64_t relaunches = snapshot.counter("yarn.container_relaunches");
+  bool any_engine = false;
+  for (const auto& engine : kEngines) {
+    any_engine = any_engine || snapshot.counter(engine.restarts) > 0 ||
+                 snapshot.counter(engine.replayed) > 0;
+  }
+  if (!any_engine && injected == 0 && task_restarts == 0 && relaunches == 0) {
+    return "";
+  }
+
+  std::string out = "recovery summary\n";
+  out += "  " + pad_right("engine", 7) + pad_left("restarts", 10) +
+         pad_left("replayed", 12) + pad_left("recovery_ms", 13) + "\n";
+  for (const auto& engine : kEngines) {
+    out += "  " + pad_right(engine.name, 7) +
+           pad_left(std::to_string(snapshot.counter(engine.restarts)), 10) +
+           pad_left(std::to_string(snapshot.counter(engine.replayed)), 12);
+    out += engine.time_ms != nullptr
+               ? pad_left(format_double(snapshot.gauge(engine.time_ms), 2), 13)
+               : pad_left("-", 13);
+    out += "\n";
+  }
+  out += "  faults injected: " + std::to_string(injected);
+  for (const auto& [name, value] : snapshot.counters_with_prefix("fault.")) {
+    if (name == "fault.injected" || value == 0) continue;
+    out += "  " + name.substr(std::string("fault.").size()) + "=" +
+           std::to_string(value);
+  }
+  out += "\n  supervised task restarts: " + std::to_string(task_restarts) +
+         "    yarn container relaunches: " + std::to_string(relaunches) + "\n";
+  return out;
+}
+
 }  // namespace dsps::harness

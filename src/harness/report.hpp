@@ -5,6 +5,7 @@
 #include <string>
 
 #include "harness/figures.hpp"
+#include "runtime/metrics.hpp"
 
 namespace dsps::harness {
 
@@ -22,5 +23,11 @@ std::string render_comparison(const Figure& measured,
 /// (engine,sdk,query,parallelism,run,execution_seconds,output_records)
 /// for plotting outside this repo.
 std::string to_csv(const MeasurementSet& set);
+
+/// Human-readable recovery block for chaos runs: per-engine restarts,
+/// replayed records, and recovery wall-time, plus the substrate counters
+/// (supervised task restarts, YARN container relaunches, injected faults).
+/// Empty string when the snapshot records no recovery or fault activity.
+std::string render_recovery_summary(const runtime::MetricsSnapshot& snapshot);
 
 }  // namespace dsps::harness

@@ -3,7 +3,19 @@
 #include <shared_mutex>
 #include <utility>
 
+#include "runtime/fault.hpp"
+
 namespace dsps::kafka {
+
+void Broker::begin_shutdown() {
+  shutting_down_.store(true, std::memory_order_release);
+  std::shared_lock lock(mutex_);
+  for (auto& [name, topic] : topics_) {
+    for (auto& replica : topic.replicas) {
+      for (auto& log : replica) log->close();
+    }
+  }
+}
 
 Status Broker::create_topic(const std::string& name,
                             const TopicConfig& config) {
@@ -82,6 +94,12 @@ Result<const Broker::Topic*> Broker::topic_for(const TopicPartition& tp) const {
 Result<std::int64_t> Broker::append(const TopicPartition& tp,
                                     const ProducerRecord& record,
                                     bool wait_for_replication) {
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    return Status::closed("broker is shutting down");
+  }
+  if (runtime::FaultInjector::instance().broker_unavailable(tp.topic)) {
+    return Status::unavailable("injected broker outage: " + tp.topic);
+  }
   auto topic = topic_for(tp);
   if (!topic.is_ok()) return topic.status();
   const auto p = static_cast<std::size_t>(tp.partition);
@@ -97,6 +115,12 @@ Result<std::int64_t> Broker::append(const TopicPartition& tp,
 Result<std::int64_t> Broker::append_batch(
     const TopicPartition& tp, const std::vector<ProducerRecord>& records,
     bool wait_for_replication) {
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    return Status::closed("broker is shutting down");
+  }
+  if (runtime::FaultInjector::instance().broker_unavailable(tp.topic)) {
+    return Status::unavailable("injected broker outage: " + tp.topic);
+  }
   auto topic = topic_for(tp);
   if (!topic.is_ok()) return topic.status();
   const auto p = static_cast<std::size_t>(tp.partition);

@@ -46,6 +46,15 @@ class Broker {
   void set_rtt_us(std::int64_t rtt_us) noexcept { rtt_us_.store(rtt_us); }
   std::int64_t rtt_us() const noexcept { return rtt_us_.load(); }
 
+  /// Marks the broker as shutting down and wakes every blocked fetcher.
+  /// Stored records stay fetchable (drain semantics); new appends are
+  /// rejected with Unavailable. Consumers observe FetchState::kClosed from
+  /// poll_batch instead of sleeping out their fetch timeout.
+  void begin_shutdown();
+  bool shutting_down() const noexcept {
+    return shutting_down_.load(std::memory_order_acquire);
+  }
+
   Status create_topic(const std::string& name, const TopicConfig& config);
   Status delete_topic(const std::string& name);
   bool topic_exists(const std::string& name) const;
@@ -101,6 +110,7 @@ class Broker {
   Result<const Topic*> topic_for(const TopicPartition& tp) const;
 
   std::atomic<std::int64_t> rtt_us_{0};
+  std::atomic<bool> shutting_down_{false};
   // Guards the topic map, not the logs. Topic creation is rare and lookups
   // dominate (every append/fetch resolves its topic), so readers share.
   mutable std::shared_mutex mutex_;

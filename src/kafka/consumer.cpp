@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "runtime/fault.hpp"
+
 namespace dsps::kafka {
 
 Consumer::Consumer(Broker& broker, ConsumerConfig config)
@@ -77,9 +79,14 @@ std::vector<ConsumedRecord> Consumer::poll(std::int64_t timeout_ms) {
   return out;
 }
 
-FetchBatch Consumer::poll_batch(std::int64_t timeout_ms) {
-  FetchBatch batch;
-  if (assignments_.empty()) return batch;
+FetchState Consumer::poll_batch(std::int64_t timeout_ms, FetchBatch& out) {
+  out.records.clear();
+  out.base_offset = 0;
+  if (assignments_.empty()) {
+    return broker_.shutting_down() ? FetchState::kClosed : FetchState::kOk;
+  }
+  runtime::FaultInjector::instance().maybe_stall(
+      runtime::FaultPoint::kSlowConsumer, assignments_.front().tp.topic);
 
   // Non-blocking round-robin: first assignment with data wins the batch.
   for (std::size_t i = 0; i < assignments_.size(); ++i) {
@@ -87,27 +94,31 @@ FetchBatch Consumer::poll_batch(std::int64_t timeout_ms) {
     next_partition_ = (next_partition_ + 1) % assignments_.size();
     const auto fetched_count =
         broker_.fetch(assignment.tp, assignment.position,
-                      config_.max_poll_records, batch.records);
+                      config_.max_poll_records, out.records);
     if (fetched_count.is_ok() && fetched_count.value() > 0) {
-      batch.tp = assignment.tp;
-      batch.base_offset = assignment.position;
+      out.tp = assignment.tp;
+      out.base_offset = assignment.position;
       assignment.position += static_cast<std::int64_t>(fetched_count.value());
-      return batch;
+      return broker_.shutting_down() ? FetchState::kClosed : FetchState::kOk;
     }
   }
-  if (timeout_ms <= 0) return batch;
+  // Mid-shutdown a consumer never waits: nothing was immediately fetchable,
+  // so this is the (empty) final batch.
+  if (broker_.shutting_down()) return FetchState::kClosed;
+  if (timeout_ms <= 0) return FetchState::kOk;
 
   // Nothing available: block on the first assignment for the timeout.
+  // Broker shutdown interrupts the wait via PartitionLog::close().
   auto& assignment = assignments_.front();
   const auto fetched_count = broker_.fetch_blocking(
       assignment.tp, assignment.position, config_.max_poll_records, timeout_ms,
-      batch.records);
+      out.records);
   if (fetched_count.is_ok() && fetched_count.value() > 0) {
-    batch.tp = assignment.tp;
-    batch.base_offset = assignment.position;
+    out.tp = assignment.tp;
+    out.base_offset = assignment.position;
     assignment.position += static_cast<std::int64_t>(fetched_count.value());
   }
-  return batch;
+  return broker_.shutting_down() ? FetchState::kClosed : FetchState::kOk;
 }
 
 Status Consumer::seek(const TopicPartition& tp, std::int64_t offset) {

@@ -40,6 +40,15 @@ struct ConsumerConfig {
   std::size_t max_poll_records = 1000;
 };
 
+/// Outcome of a poll_batch call. kClosed means the broker is mid-shutdown:
+/// the batch in `out` (possibly partial, possibly empty) is the final one
+/// and must still be processed — no further data will arrive. Marked
+/// [[nodiscard]] so every call site decides what shutdown means for it.
+enum class [[nodiscard]] FetchState {
+  kOk,
+  kClosed,
+};
+
 class Consumer {
  public:
   Consumer(Broker& broker, ConsumerConfig config = {});
@@ -63,8 +72,10 @@ class Consumer {
   /// single partition, advancing that partition's position past the batch.
   /// Unlike poll(), records are not re-wrapped one by one — callers that
   /// want the values can move them straight out of the batch. Blocks up to
-  /// `timeout_ms` when nothing is immediately available.
-  FetchBatch poll_batch(std::int64_t timeout_ms);
+  /// `timeout_ms` when nothing is immediately available — unless the broker
+  /// is mid-shutdown, in which case the call returns immediately with
+  /// whatever is fetchable and reports FetchState::kClosed.
+  FetchState poll_batch(std::int64_t timeout_ms, FetchBatch& out);
 
   /// Moves the position of `tp` to `offset`.
   Status seek(const TopicPartition& tp, std::int64_t offset);

@@ -78,10 +78,10 @@ std::size_t PartitionLog::fetch_blocking(std::int64_t offset,
   std::unique_lock lock(mutex_);
   if (offset < 0) offset = 0;
   const auto start = static_cast<std::size_t>(offset);
-  if (start >= records_.size()) {
+  if (start >= records_.size() && !closed_) {
     ++fetch_waiters_;
     data_arrived_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                           [&] { return start < records_.size(); });
+                           [&] { return start < records_.size() || closed_; });
     --fetch_waiters_;
   }
   if (start >= records_.size()) return 0;
@@ -89,6 +89,19 @@ std::size_t PartitionLog::fetch_blocking(std::int64_t offset,
   out.insert(out.end(), records_.begin() + static_cast<std::ptrdiff_t>(start),
              records_.begin() + static_cast<std::ptrdiff_t>(start + n));
   return n;
+}
+
+void PartitionLog::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  data_arrived_.notify_all();
+}
+
+bool PartitionLog::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
 }
 
 std::int64_t PartitionLog::end_offset() const {

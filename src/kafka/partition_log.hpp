@@ -41,10 +41,18 @@ class PartitionLog {
   std::size_t fetch(std::int64_t offset, std::size_t max_records,
                     std::vector<StoredRecord>& out) const;
 
-  /// Like fetch(), but blocks up to `timeout_ms` for data to arrive.
+  /// Like fetch(), but blocks up to `timeout_ms` for data to arrive. A
+  /// close() cuts the wait short and returns whatever is available.
   std::size_t fetch_blocking(std::int64_t offset, std::size_t max_records,
                              std::int64_t timeout_ms,
                              std::vector<StoredRecord>& out) const;
+
+  /// Marks the log closed and wakes every blocked fetcher, so a consumer
+  /// polling a broker that is mid-shutdown gets its partial batch now
+  /// instead of sleeping out the full fetch timeout. Appends and fetches
+  /// of already-stored records still work (drain semantics).
+  void close();
+  bool closed() const;
 
   std::int64_t end_offset() const;
 
@@ -60,6 +68,7 @@ class PartitionLog {
   mutable std::mutex mutex_;
   mutable std::condition_variable data_arrived_;
   mutable int fetch_waiters_ = 0;  // appenders notify only when someone waits
+  bool closed_ = false;
   std::vector<StoredRecord> records_;
 };
 

@@ -82,10 +82,23 @@ Status Producer::send(const std::string& topic, Payload key, Payload value) {
 Status Producer::flush_buffer(Buffer& buffer) {
   if (buffer.records.empty()) return Status::ok();
   const bool wait_replication = config_.acks == Acks::kAll;
-  Result<std::int64_t> result =
-      buffer.records.size() == 1
-          ? broker_.append(buffer.tp, buffer.records.front(), wait_replication)
-          : broker_.append_batch(buffer.tp, buffer.records, wait_replication);
+  // The buffer is cleared only after an attempt the broker accepted (or a
+  // terminal error): a retryable failure must keep the records, or every
+  // unavailability window would silently drop a batch.
+  runtime::Backoff backoff(config_.retry_backoff);
+  Result<std::int64_t> result = Status::internal("no append attempted");
+  for (int attempt = 0;; ++attempt) {
+    result = buffer.records.size() == 1
+                 ? broker_.append(buffer.tp, buffer.records.front(),
+                                  wait_replication)
+                 : broker_.append_batch(buffer.tp, buffer.records,
+                                        wait_replication);
+    const bool retryable =
+        result.status().code() == StatusCode::kUnavailable;
+    if (result.is_ok() || !retryable || attempt >= config_.max_retries) break;
+    ++send_retries_;
+    backoff.sleep();
+  }
   buffer.records.clear();
   // One network round trip per flush when the broker simulates a network
   // (acks=0 producers fire and forget: no ack to wait for). Spin-wait:

@@ -17,6 +17,7 @@
 #include "common/status.hpp"
 #include "kafka/broker.hpp"
 #include "kafka/record.hpp"
+#include "runtime/fault.hpp"
 
 namespace dsps::kafka {
 
@@ -31,6 +32,12 @@ struct ProducerConfig {
   /// Keeps low-volume outputs (e.g. the Grep query's ~0.3%) flowing out
   /// during execution instead of all at close().
   std::int64_t linger_us = 500;
+  /// Send retries per flush (Kafka's `retries`): a flush that fails with a
+  /// retryable error (broker unavailability window) is re-attempted up to
+  /// this many extra times with capped exponential backoff + jitter.
+  int max_retries = 5;
+  runtime::BackoffPolicy retry_backoff{
+      .initial_us = 200, .multiplier = 2.0, .max_us = 10'000};
 };
 
 class Producer {
@@ -54,6 +61,8 @@ class Producer {
   Status close();
 
   std::uint64_t records_sent() const noexcept { return records_sent_; }
+  /// Flush attempts that failed retryably and were re-sent.
+  std::uint64_t send_retries() const noexcept { return send_retries_; }
 
  private:
   struct Buffer {
@@ -76,6 +85,7 @@ class Producer {
   std::unordered_map<std::string, std::vector<std::size_t>> buffer_index_;
   std::size_t last_buffer_ = kNoBuffer;
   std::uint64_t records_sent_ = 0;
+  std::uint64_t send_retries_ = 0;
   bool closed_ = false;
 };
 

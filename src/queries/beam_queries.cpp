@@ -63,16 +63,26 @@ void build_pipeline(beam::Pipeline& pipeline, workload::QueryId query,
 
 std::unique_ptr<beam::PipelineRunner> make_runner(Engine engine,
                                                   const QueryContext& ctx) {
+  // The one portable knob: each runner translates the hint onto its
+  // engine's native mechanism (job rerun / batch retry / app reattempt).
+  beam::RestartHint restart;
+  if (ctx.recovery.enabled) {
+    restart.max_restarts = std::max(0, ctx.recovery.max_restarts);
+    restart.backoff = recovery_backoff(ctx.recovery);
+  }
   switch (engine) {
     case Engine::kFlink:
       return std::make_unique<beam::FlinkRunner>(
-          beam::FlinkRunnerOptions{.parallelism = ctx.parallelism});
+          beam::FlinkRunnerOptions{.parallelism = ctx.parallelism,
+                                   .restart = restart});
     case Engine::kSpark:
       return std::make_unique<beam::SparkRunner>(
-          beam::SparkRunnerOptions{.parallelism = ctx.parallelism});
+          beam::SparkRunnerOptions{.parallelism = ctx.parallelism,
+                                   .restart = restart});
     case Engine::kApex:
       return std::make_unique<beam::ApexRunner>(
-          beam::ApexRunnerOptions{.parallelism = ctx.parallelism});
+          beam::ApexRunnerOptions{.parallelism = ctx.parallelism,
+                                  .restart = restart});
   }
   throw std::invalid_argument("unknown engine");
 }

@@ -45,8 +45,16 @@ apex::OperatorFactory query_operator_factory(workload::QueryId query,
 
 apex::Dag build_dag(workload::QueryId query, const QueryContext& ctx) {
   apex::Dag dag;
+  // With recovery on, the input gets a consumer group: offsets commit as
+  // windows complete across the DAG, and a YARN reattempt resumes there.
   const int input = dag.add_input_operator(
-      "kafkaInput", apex::kafka_input_factory(*ctx.broker, ctx.input_topic));
+      "kafkaInput",
+      ctx.recovery.enabled
+          ? apex::kafka_input_factory(
+                *ctx.broker,
+                apex::KafkaPayloadInput::Config{.topic = ctx.input_topic,
+                                                .group_id = "apex-input"})
+          : apex::kafka_input_factory(*ctx.broker, ctx.input_topic));
   const int output = dag.add_operator(
       "kafkaOutput",
       apex::kafka_output_factory(
@@ -86,7 +94,12 @@ Status run_native_apex(workload::QueryId query, const QueryContext& ctx) {
   yarn::ResourceManager rm;
   rm.add_node("node-0", yarn::Resource{64, 65536});
   rm.add_node("node-1", yarn::Resource{64, 65536});
-  return apex::launch_application(rm, dag, apex::EngineConfig{}).status();
+  apex::EngineConfig config;
+  if (ctx.recovery.enabled) {
+    config.max_attempts = 1 + std::max(0, ctx.recovery.max_restarts);
+    config.restart_backoff = recovery_backoff(ctx.recovery);
+  }
+  return apex::launch_application(rm, dag, config).status();
 }
 
 Result<std::string> native_apex_plan(workload::QueryId query,

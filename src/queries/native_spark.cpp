@@ -42,6 +42,12 @@ Status run_native_spark(workload::QueryId query, const QueryContext& ctx) {
   conf.app_name = workload::query_info(query).name;
   conf.default_parallelism = ctx.parallelism;
   spark::StreamingContext ssc(conf, /*batch_interval_ms=*/50);
+  if (ctx.recovery.enabled) {
+    // Spark's native mechanism: re-run the failed micro-batch against the
+    // same claimed offset range (at-least-once).
+    ssc.set_batch_retries(std::max(0, ctx.recovery.max_restarts),
+                          recovery_backoff(ctx.recovery));
+  }
 
   auto lines = ssc.kafka_direct_stream(*ctx.broker, ctx.input_topic);
   auto output = apply_query_transform(lines, query, ctx);

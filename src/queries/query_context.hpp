@@ -7,6 +7,7 @@
 #include <string>
 
 #include "kafka/broker.hpp"
+#include "runtime/fault.hpp"
 #include "workload/streambench.hpp"
 
 namespace dsps::queries {
@@ -27,6 +28,36 @@ inline const char* sdk_name(Sdk sdk) {
   return sdk == Sdk::kNative ? "native" : "Beam";
 }
 
+/// Per-run recovery knobs, mapped by each path onto the engine's native
+/// mechanism (DESIGN.md §5c):
+///   Flink native — job restart; with `exactly_once`, barrier checkpointing
+///                  of source offsets + transactional sink epochs;
+///   Spark native — per-batch retry against the same claimed offset range;
+///   Apex native  — YARN application reattempt, inputs resuming from
+///                  committed-window offsets;
+///   Beam         — one RestartHint, translated per runner (full job rerun
+///                  on Flink, batch retry on Spark, app reattempt on Apex).
+struct RecoveryConfig {
+  bool enabled = false;
+  /// Extra attempts beyond the first (restarts / retries / reattempts).
+  int max_restarts = 3;
+  /// Flink native only: checkpointed source + transactional sink —
+  /// exactly-once output. Every other path is at-least-once.
+  bool exactly_once = false;
+  /// Seeds the retry backoff jitter (deterministic chaos runs).
+  std::uint64_t backoff_seed = 42;
+};
+
+/// Backoff used by every recovery path; tight so bounded chaos runs stay
+/// fast, jittered + seeded so schedules are reproducible.
+inline runtime::BackoffPolicy recovery_backoff(const RecoveryConfig& config) {
+  return runtime::BackoffPolicy{.initial_us = 500,
+                                .multiplier = 2.0,
+                                .max_us = 20'000,
+                                .jitter = 0.2,
+                                .seed = config.backoff_seed};
+}
+
 struct QueryContext {
   kafka::Broker* broker = nullptr;
   std::string input_topic;
@@ -34,6 +65,7 @@ struct QueryContext {
   int parallelism = 1;
   /// Seed for the Sample query's randomness.
   std::uint64_t seed = 42;
+  RecoveryConfig recovery;
 };
 
 }  // namespace dsps::queries

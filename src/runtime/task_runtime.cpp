@@ -1,7 +1,10 @@
 #include "runtime/task_runtime.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <utility>
+
+#include "runtime/metrics.hpp"
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -43,10 +46,41 @@ TaskRuntime::TaskId TaskRuntime::spawn(std::string task_name,
   return id;
 }
 
+TaskRuntime::TaskId TaskRuntime::spawn_supervised(std::string task_name,
+                                                  std::function<void()> body,
+                                                  RestartPolicy policy) {
+  return spawn(std::move(task_name),
+               [this, body = std::move(body), policy]() {
+                 const int max_attempts = std::max(1, policy.max_attempts);
+                 Backoff backoff(policy.backoff);
+                 for (int attempt = 0;; ++attempt) {
+                   try {
+                     body();
+                     return;
+                   } catch (...) {
+                     // Retry only while the budget allows and the runtime is
+                     // still live; otherwise the last error surfaces through
+                     // the normal failure-capture path.
+                     if (attempt + 1 >= max_attempts || stop_requested()) {
+                       throw;
+                     }
+                   }
+                   MetricsRegistry::global()
+                       .counter("runtime.task_restarts")
+                       .add(1);
+                   backoff.sleep();
+                 }
+               });
+}
+
 void TaskRuntime::run_body(const std::string& task_name,
                            const std::function<void()>& body) noexcept {
   name_current_thread(task_name);
   try {
+    // Container kills strike a worker at startup: rules match the task
+    // name, so a schedule can target one engine's containers.
+    FaultInjector::instance().maybe_throw(FaultPoint::kContainerKill,
+                                          task_name);
     body();
   } catch (const std::exception& e) {
     record_failure(Status::internal("task '" + task_name +
@@ -75,11 +109,27 @@ void TaskRuntime::record_failure(Status status) {
 void TaskRuntime::wait(TaskId id) {
   std::thread thread;
   {
-    std::lock_guard lock(mutex_);
+    std::unique_lock lock(mutex_);
     if (id >= tasks_.size()) return;
-    thread = std::move(tasks_[id]->thread);
+    Task& task = *tasks_[id];
+    if (task.joined) return;
+    if (task.claimed) {
+      // Another thread owns the join (or a detach abandoned the task).
+      // Block until it publishes completion instead of returning early —
+      // returning here before the body finished is exactly how a failure
+      // thrown during an ordered drain used to vanish from join_all().
+      task_joined_cv_.wait(lock, [&task] { return task.joined; });
+      return;
+    }
+    task.claimed = true;
+    thread = std::move(task.thread);
   }
   if (thread.joinable()) thread.join();
+  {
+    std::lock_guard lock(mutex_);
+    tasks_[id]->joined = true;
+  }
+  task_joined_cv_.notify_all();
 }
 
 void TaskRuntime::detach(TaskId id) {
@@ -87,8 +137,15 @@ void TaskRuntime::detach(TaskId id) {
   {
     std::lock_guard lock(mutex_);
     if (id >= tasks_.size()) return;
-    thread = std::move(tasks_[id]->thread);
+    Task& task = *tasks_[id];
+    if (task.claimed || task.joined) return;
+    // A detached task never reports back: mark it complete so waiters and
+    // the destructor don't block on a thread nobody will join.
+    task.claimed = true;
+    task.joined = true;
+    thread = std::move(task.thread);
   }
+  task_joined_cv_.notify_all();
   if (thread.joinable()) thread.detach();
 }
 

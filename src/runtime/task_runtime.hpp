@@ -24,6 +24,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -33,6 +34,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "runtime/fault.hpp"
 
 namespace dsps::runtime {
 
@@ -54,7 +56,20 @@ class TaskRuntime {
   /// handler; they never escape the thread.
   TaskId spawn(std::string task_name, std::function<void()> body);
 
-  /// Joins one task (idempotent; safe to call after join_all()).
+  /// Like spawn(), but the worker restarts itself on failure: a throwing
+  /// body is retried (with the policy's backoff) until it succeeds, the
+  /// attempt budget is exhausted, or stop is requested — only then does the
+  /// last error surface as the task's failure. This is the supervised
+  /// restart path YARN container relaunches ride on.
+  TaskId spawn_supervised(std::string task_name, std::function<void()> body,
+                          RestartPolicy policy);
+
+  /// Joins one task (idempotent; safe to call after join_all()). Blocks
+  /// until the task body has finished and its failure, if any, has been
+  /// recorded — even when another thread performs the actual join. This is
+  /// what makes an ordered drain sound when a worker throws mid-stop: every
+  /// waiter observes the completed task, and first_failure() is never read
+  /// before the failing body has published its error.
   void wait(TaskId id);
 
   /// Abandons a task's thread without joining it (models a failed node
@@ -89,6 +104,8 @@ class TaskRuntime {
   struct Task {
     std::string name;
     std::thread thread;
+    bool joined = false;    // set once the thread is joined or detached
+    bool claimed = false;   // a waiter owns the join (or detach happened)
   };
 
   void run_body(const std::string& task_name,
@@ -97,6 +114,7 @@ class TaskRuntime {
 
   const std::string name_;
   mutable std::mutex mutex_;
+  std::condition_variable task_joined_cv_;
   std::vector<std::unique_ptr<Task>> tasks_;
   std::vector<std::function<void()>> stop_hooks_;
   std::function<void(const Status&)> failure_handler_;

@@ -5,6 +5,7 @@
 
 #include "common/clock.hpp"
 #include "common/queue.hpp"
+#include "runtime/fault.hpp"
 
 namespace dsps::spark {
 
@@ -236,8 +237,17 @@ StreamingContext::StreamingContext(SparkConf conf,
   require(batch_interval_ms >= 1, "batch interval must be >= 1 ms");
   batch_count_ = registry_.counter("batch.count");
   input_records_ = registry_.counter("input.records");
+  batch_retry_count_ = registry_.counter("recovery.batch_retries");
+  replayed_records_ = registry_.counter("recovery.replayed_records");
   last_batch_gauge_ = registry_.gauge("batch.last_input_records");
   batch_duration_ = registry_.histogram("batch.duration_us");
+}
+
+void StreamingContext::set_batch_retries(int max_retries,
+                                         runtime::BackoffPolicy backoff) {
+  require(!started_, "cannot change retry policy after start()");
+  max_batch_retries_ = max_retries;
+  retry_backoff_ = backoff;
 }
 
 StreamingContext::~StreamingContext() { stop(); }
@@ -274,7 +284,31 @@ void StreamingContext::run_one_batch() {
   const BatchId batch = next_batch_++;
   Stopwatch watch;
   std::size_t input_records = 0;
-  for (const auto& output : outputs_) output(batch, sc_);
+  // Failed output operations re-run against the same BatchId: the input's
+  // per-batch RDD cache pins the claimed offset range, so each retry
+  // reprocesses exactly the records of the failed attempt (at-least-once —
+  // output already produced before the failure is produced again).
+  auto& injector = runtime::FaultInjector::instance();
+  runtime::Backoff backoff(retry_backoff_);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      for (const auto& output : outputs_) output(batch, sc_);
+      // Strikes after the outputs ran but before the batch is committed —
+      // the worst case for at-least-once: the retry replays the cached
+      // RDD and re-emits records the failed attempt already produced.
+      injector.maybe_throw(runtime::FaultPoint::kOperatorThrow, "spark.batch");
+      break;
+    } catch (...) {
+      if (attempt >= max_batch_retries_) throw;
+      batch_retry_count_.add(1);
+      std::size_t replayed = 0;
+      for (const auto& input : inputs_) {
+        replayed += input->last_batch_records();
+      }
+      replayed_records_.add(replayed);
+      backoff.sleep();
+    }
+  }
   for (const auto& input : inputs_) input_records += input->last_batch_records();
   last_batch_input_records_ = input_records;
   batch_count_.add(1);
@@ -327,7 +361,16 @@ void StreamingContext::stop() {
     // in one final batch. Without this, a receiver block accepted between
     // the last timer batch and the stop request would be dropped.
     for (const auto& input : inputs_) input->stop_input();
-    if (runtime_.first_failure().is_ok()) run_one_batch();
+    if (runtime_.first_failure().is_ok() && batch_failure_.is_ok()) {
+      try {
+        run_one_batch();
+      } catch (const std::exception& error) {
+        batch_failure_ = Status::internal(
+            std::string("drain batch failed after retries: ") + error.what());
+      } catch (...) {
+        batch_failure_ = Status::internal("drain batch failed after retries");
+      }
+    }
     publish_metrics();
   }
 }
@@ -342,7 +385,20 @@ Status StreamingContext::run_bounded() {
   started_ = true;
   while (true) {
     const Stopwatch watch;
-    run_one_batch();
+    try {
+      run_one_batch();
+    } catch (const std::exception& error) {
+      batch_failure_ = Status::internal(
+          std::string("batch failed after retries: ") + error.what());
+      started_ = false;
+      publish_metrics();
+      return batch_failure_;
+    } catch (...) {
+      batch_failure_ = Status::internal("batch failed after retries");
+      started_ = false;
+      publish_metrics();
+      return batch_failure_;
+    }
     const bool empty_batch = last_batch_input_records_ == 0;
     if (empty_batch && all_inputs_drained()) break;
     const auto spent_ms = static_cast<std::int64_t>(watch.elapsed_ms());

@@ -62,6 +62,16 @@ class StreamingContext {
   void register_output(std::function<void(BatchId, SparkContext&)> op);
   void register_input(std::shared_ptr<InputDStreamBase> input);
 
+  /// Spark's task/stage re-execution, collapsed to the micro-batch level:
+  /// a batch whose output operations throw is re-run up to `max_retries`
+  /// times against the *same* RDD (the per-BatchId cache pins the claimed
+  /// offset range, so a retry reprocesses identical input). Output written
+  /// before the failure is written again on retry — at-least-once, exactly
+  /// like speculative re-execution against a non-transactional sink.
+  void set_batch_retries(int max_retries,
+                         runtime::BackoffPolicy backoff = {});
+  std::uint64_t batch_retries() const { return batch_retry_count_.value(); }
+
   /// Starts the timer-driven batch generator.
   Status start();
 
@@ -76,8 +86,12 @@ class StreamingContext {
   /// with start().
   Status run_bounded();
 
-  /// First failure of a supervised worker (generator/receiver), if any.
-  Status worker_failure() const { return runtime_.first_failure(); }
+  /// First failure of a supervised worker (generator/receiver) or of a
+  /// batch whose retries were exhausted, if any.
+  Status worker_failure() const {
+    if (!batch_failure_.is_ok()) return batch_failure_;
+    return runtime_.first_failure();
+  }
 
   /// Unified metrics: `batch.count`, `input.records`, `batch.duration_us`,
   /// `batch.last_input_records`.
@@ -98,8 +112,13 @@ class StreamingContext {
   runtime::MetricsRegistry registry_;
   runtime::Counter batch_count_;
   runtime::Counter input_records_;
+  runtime::Counter batch_retry_count_;
+  runtime::Counter replayed_records_;
   runtime::Gauge last_batch_gauge_;
   runtime::TimeHistogram batch_duration_;
+  int max_batch_retries_ = 0;
+  runtime::BackoffPolicy retry_backoff_{};
+  Status batch_failure_;
   std::size_t last_batch_input_records_ = 0;
   BatchId next_batch_ = 0;
   std::atomic<bool> stop_requested_{false};

@@ -3,7 +3,10 @@
 #include <utility>
 #include <vector>
 
+#include <algorithm>
+
 #include "common/clock.hpp"
+#include "runtime/metrics.hpp"
 
 namespace dsps::yarn {
 
@@ -51,6 +54,11 @@ void NodeManager::release(ContainerId id) {
   }
 }
 
+void NodeManager::set_container_retry_policy(runtime::RestartPolicy policy) {
+  std::lock_guard lock(mutex_);
+  container_retry_ = policy;
+}
+
 Status NodeManager::launch(ContainerId id, std::function<void()> work) {
   std::lock_guard lock(mutex_);
   const auto it = slots_.find(id);
@@ -64,20 +72,35 @@ Status NodeManager::launch(ContainerId id, std::function<void()> work) {
   it->second.launched = true;
   it->second.task = runtime_.spawn(
       id_ + "-c" + std::to_string(id),
-      [this, id, work = std::move(work)] {
-        try {
-          work();
-        } catch (...) {
-          {
-            std::lock_guard inner(mutex_);
-            const auto slot = slots_.find(id);
-            if (slot != slots_.end() &&
-                slot->second.state == ContainerState::kRunning) {
-              slot->second.state = ContainerState::kFailed;
-              used_ = used_ - slot->second.container.resource;
+      [this, id, work = std::move(work), policy = container_retry_] {
+        const int max_attempts = std::max(1, policy.max_attempts);
+        runtime::Backoff backoff(policy.backoff);
+        for (int attempt = 0;; ++attempt) {
+          try {
+            work();
+            break;
+          } catch (...) {
+            // Relaunch in place while the retry-context allows it and the
+            // node itself is still healthy.
+            if (attempt + 1 < max_attempts && !failed_.load()) {
+              relaunches_.fetch_add(1);
+              runtime::MetricsRegistry::global()
+                  .counter("yarn.container_relaunches")
+                  .add(1);
+              backoff.sleep();
+              continue;
             }
+            {
+              std::lock_guard inner(mutex_);
+              const auto slot = slots_.find(id);
+              if (slot != slots_.end() &&
+                  slot->second.state == ContainerState::kRunning) {
+                slot->second.state = ContainerState::kFailed;
+                used_ = used_ - slot->second.container.resource;
+              }
+            }
+            throw;  // TaskRuntime retains it as first_container_failure()
           }
-          throw;  // TaskRuntime retains it as first_container_failure()
         }
         std::lock_guard inner(mutex_);
         const auto slot = slots_.find(id);

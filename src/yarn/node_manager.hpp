@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/task_runtime.hpp"
 #include "yarn/types.hpp"
 
@@ -37,9 +38,20 @@ class NodeManager {
   /// Releases a container's resources (after completion/failure).
   void release(ContainerId id);
 
+  /// NodeManager-driven container relaunch: a work function that throws is
+  /// re-run in place (same container, same resources) up to
+  /// `policy.max_attempts` total attempts with backoff between relaunches —
+  /// YARN's container retry-context. Applies to containers launched after
+  /// the call; the default (1 attempt) fails fast.
+  void set_container_retry_policy(runtime::RestartPolicy policy);
+  std::uint64_t container_relaunches() const noexcept {
+    return relaunches_.load();
+  }
+
   /// Runs `work` on a supervised worker thread for the given (reserved)
-  /// container. A work function that throws marks the container kFailed
-  /// and the failure is retained (see first_container_failure()).
+  /// container. A work function that exhausts its relaunch attempts marks
+  /// the container kFailed and the failure is retained (see
+  /// first_container_failure()).
   Status launch(ContainerId id, std::function<void()> work);
 
   /// Blocks until the container's work function returns.
@@ -78,6 +90,8 @@ class NodeManager {
   mutable std::mutex mutex_;
   std::map<ContainerId, Slot> slots_;
   Resource used_{0, 0};
+  runtime::RestartPolicy container_retry_{};
+  std::atomic<std::uint64_t> relaunches_{0};
   std::atomic<std::int64_t> last_heartbeat_ms_{0};
   std::atomic<bool> failed_{false};
   // Declared last so its destructor joins workers before the slot map and

@@ -1,0 +1,347 @@
+// Chaos harness: the four StreamBench queries on every engine x SDK under
+// seeded fault schedules (operator kills, consumer stalls, broker outage
+// windows), asserting the delivery guarantee each recovery mechanism claims
+// (DESIGN.md §5c) differentially against an unfaulted DirectRunner baseline:
+//   * every recovered path is at-least-once — the faulted output is a
+//     multiset superset of the baseline and introduces no record the
+//     baseline lacks;
+//   * native Flink with checkpointing + transactional sink is exactly-once
+//     — the faulted output *equals* the baseline as a multiset;
+//   * Sample (nondeterministic) degrades to output ⊆ input.
+// Schedules are deterministic per seed; CI re-runs the suite under fixed
+// seeds via STREAMSHIM_CHAOS_SEED=<n>.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "beam/kafka_io.hpp"
+#include "beam/pipeline.hpp"
+#include "beam/runners/direct_runner.hpp"
+#include "queries/query_factory.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/payload.hpp"
+#include "workload/streambench.hpp"
+
+namespace dsps {
+namespace {
+
+using queries::Engine;
+using queries::Sdk;
+using runtime::FaultInjector;
+using runtime::FaultPoint;
+using runtime::FaultRule;
+using workload::QueryId;
+
+constexpr const char* kIn = "chaos-in";
+constexpr const char* kOut = "chaos-out";
+// Sized so every engine's fault site is hit several times per attempt:
+// the Flink source polls 1000 records at a time (9 polls), Apex windows
+// carry up to 4096 tuples (3 windows).
+constexpr int kRecords = 9'000;
+
+std::vector<std::uint64_t> chaos_seeds() {
+  if (const char* env = std::getenv("STREAMSHIM_CHAOS_SEED")) {
+    return {std::strtoull(env, nullptr, 10)};
+  }
+  return {1, 2, 3};
+}
+
+/// Unique two-column rows (uniqueness makes the duplicate/loss assertions
+/// sharp); every 7th row carries the Grep needle.
+const std::vector<std::string>& chaos_input() {
+  static const std::vector<std::string> input = [] {
+    std::vector<std::string> lines;
+    lines.reserve(kRecords);
+    for (int i = 0; i < kRecords; ++i) {
+      std::string line = "row-" + std::to_string(i);
+      if (i % 7 == 0) line += "-" + std::string(workload::kGrepNeedle);
+      line += "\tpayload-" + std::to_string(i);
+      lines.push_back(std::move(line));
+    }
+    return lines;
+  }();
+  return input;
+}
+
+void load_input(kafka::Broker& broker) {
+  broker.create_topic(kIn, kafka::TopicConfig{.partitions = 1}).expect_ok();
+  broker.create_topic(kOut, kafka::TopicConfig{.partitions = 1}).expect_ok();
+  std::vector<kafka::ProducerRecord> batch;
+  batch.reserve(chaos_input().size());
+  for (const auto& line : chaos_input()) {
+    batch.push_back(kafka::ProducerRecord{.value = line});
+  }
+  broker.append_batch({kIn, 0}, batch, false).status().expect_ok();
+}
+
+std::vector<std::string> output_values(kafka::Broker& broker) {
+  std::vector<kafka::StoredRecord> stored;
+  broker.fetch({kOut, 0}, 0, 10'000'000, stored).status().expect_ok();
+  std::vector<std::string> values;
+  values.reserve(stored.size());
+  for (const auto& record : stored) values.push_back(record.value.str());
+  return values;
+}
+
+/// The unfaulted reference: the query on the DirectRunner over the same
+/// input (Identity/Projection/Grep — Sample has no deterministic baseline).
+const std::vector<std::string>& direct_baseline(QueryId query) {
+  static std::map<QueryId, std::vector<std::string>> cache;
+  auto it = cache.find(query);
+  if (it != cache.end()) return it->second;
+
+  kafka::Broker broker;
+  load_input(broker);
+  beam::Pipeline pipeline;
+  auto values =
+      pipeline
+          .apply(beam::KafkaIO::read(broker,
+                                     beam::KafkaReadConfig{.topic = kIn}))
+          .apply(beam::KafkaIO::without_metadata())
+          .apply(beam::Values<runtime::Payload>::create<runtime::Payload>());
+  beam::PCollection<runtime::Payload> out = values;
+  switch (query) {
+    case QueryId::kIdentity:
+      break;
+    case QueryId::kProjection:
+      out = values.apply(
+          beam::MapElements<runtime::Payload, runtime::Payload>::via(
+              [](const runtime::Payload& line) {
+                return workload::projection_payload(line);
+              },
+              "Projection"));
+      break;
+    case QueryId::kGrep:
+      out = values.apply(beam::Filter<runtime::Payload>::by(
+          [](const runtime::Payload& line) {
+            return workload::grep_matches(line.view());
+          },
+          "Grep"));
+      break;
+    case QueryId::kSample:
+      ADD_FAILURE() << "Sample has no deterministic baseline";
+      break;
+  }
+  out.apply(
+      beam::KafkaIO::write(broker, beam::KafkaWriteConfig{.topic = kOut}));
+  beam::DirectRunner runner;
+  pipeline.run(runner).status().expect_ok();
+  return cache.emplace(query, output_values(broker)).first->second;
+}
+
+/// The seeded schedule for one run: an operator kill at the engine's data
+/// plane, a consumer stall on the input topic, and a brief broker outage
+/// on the output topic (the producers' retry loops must ride it out).
+struct ChaosPlan {
+  std::vector<FaultRule> rules;
+  int burn = 0;  // hits pre-consumed at burn_site so a rule can strike the
+  std::string burn_site;  // engine's *first* matching call
+};
+
+ChaosPlan chaos_plan(Engine engine, Sdk sdk, std::uint64_t seed) {
+  ChaosPlan plan;
+  FaultRule kill{.point = FaultPoint::kOperatorThrow, .times = 1};
+  switch (engine) {
+    case Engine::kFlink:
+      if (sdk == Sdk::kNative) {
+        kill.site = "flink.source.";
+        kill.after_hits = 1 + seed % 2;  // strikes poll 2 or 3 of ~9
+      } else {
+        // The translated job runs unchained: the kill lands in one of the
+        // ParDo consumer tasks, mid-channel.
+        kill.site = "ParDo";
+        kill.after_hits = 1 + seed % 5;
+      }
+      break;
+    case Engine::kSpark:
+      // A bounded topic is claimed in one micro-batch, so position the
+      // rule on the first spark.batch call by burning the pass-through hit.
+      kill.site = "spark.batch";
+      kill.after_hits = 1;
+      plan.burn = 1;
+      plan.burn_site = "spark.batch";
+      break;
+    case Engine::kApex:
+      kill.site = "apex.";  // window (input group) or mailbox (processing)
+      kill.after_hits = 1 + seed % 2;
+      break;
+  }
+  plan.rules.push_back(kill);
+  plan.rules.push_back(FaultRule{.point = FaultPoint::kSlowConsumer,
+                                 .site = kIn,
+                                 .after_hits = 1,
+                                 .times = 2,
+                                 .param_us = 300});
+  plan.rules.push_back(FaultRule{.point = FaultPoint::kBrokerUnavailable,
+                                 .site = kOut,
+                                 .after_hits = 2,
+                                 .times = 1,
+                                 .param_us = 1'000});
+  return plan;
+}
+
+std::vector<std::string> run_chaos(Engine engine, Sdk sdk, QueryId query,
+                                   std::uint64_t seed, bool exactly_once) {
+  kafka::Broker broker;
+  load_input(broker);
+  queries::QueryContext ctx;
+  ctx.broker = &broker;
+  ctx.input_topic = kIn;
+  ctx.output_topic = kOut;
+  ctx.parallelism = 1;
+  ctx.recovery.enabled = true;
+  ctx.recovery.max_restarts = 4;
+  ctx.recovery.exactly_once = exactly_once;
+  ctx.recovery.backoff_seed = seed;
+
+  const ChaosPlan plan = chaos_plan(engine, sdk, seed);
+  auto& injector = FaultInjector::instance();
+  injector.arm(seed, plan.rules);
+  for (int i = 0; i < plan.burn; ++i) {
+    try {
+      injector.maybe_throw(FaultPoint::kOperatorThrow, plan.burn_site);
+    } catch (const runtime::FaultInjectedError&) {
+    }
+  }
+  const Status status = queries::run_query(engine, sdk, query, ctx);
+  const std::uint64_t injected = injector.injected_count();
+  injector.disarm();
+  EXPECT_TRUE(status.is_ok())
+      << queries::engine_name(engine) << "/" << queries::sdk_name(sdk)
+      << " seed " << seed << ": " << status.to_string();
+  EXPECT_GT(injected, 0u)
+      << queries::engine_name(engine) << "/" << queries::sdk_name(sdk)
+      << " seed " << seed << ": the schedule never struck";
+  return output_values(broker);
+}
+
+/// At-least-once: no baseline record lost (multiset superset) and no
+/// record invented (equal as sets — duplicates allowed, novelties not).
+void expect_at_least_once(const std::vector<std::string>& output,
+                          const std::vector<std::string>& baseline) {
+  std::map<std::string, long> missing;
+  for (const auto& value : baseline) ++missing[value];
+  for (const auto& value : output) --missing[value];
+  long lost = 0;
+  for (const auto& [value, count] : missing) {
+    if (count > 0) lost += count;
+  }
+  EXPECT_EQ(lost, 0) << "recovered run lost " << lost << " of "
+                     << baseline.size() << " baseline records";
+  const std::set<std::string> output_set(output.begin(), output.end());
+  const std::set<std::string> baseline_set(baseline.begin(), baseline.end());
+  EXPECT_EQ(output_set, baseline_set);
+}
+
+/// Sample's contract under replay: every delivered record is an input
+/// record (the kept subset itself is nondeterministic).
+void expect_sampled_subset(const std::vector<std::string>& output) {
+  const std::set<std::string> input_set(chaos_input().begin(),
+                                        chaos_input().end());
+  std::size_t foreign = 0;
+  for (const auto& value : output) foreign += input_set.count(value) == 0;
+  EXPECT_EQ(foreign, 0u) << "Sample delivered records not in the input";
+  EXPECT_FALSE(output.empty());
+  EXPECT_LT(output.size(), chaos_input().size() * 2);  // sanity, with dups
+}
+
+void run_matrix(Engine engine, Sdk sdk) {
+  for (const std::uint64_t seed : chaos_seeds()) {
+    for (const QueryId query : {QueryId::kIdentity, QueryId::kProjection,
+                                QueryId::kGrep, QueryId::kSample}) {
+      SCOPED_TRACE(std::string(queries::engine_name(engine)) + "/" +
+                   queries::sdk_name(sdk) + "/" +
+                   workload::query_info(query).name + " seed " +
+                   std::to_string(seed));
+      const auto output = run_chaos(engine, sdk, query, seed,
+                                    /*exactly_once=*/false);
+      if (query == QueryId::kSample) {
+        expect_sampled_subset(output);
+      } else {
+        expect_at_least_once(output, direct_baseline(query));
+      }
+    }
+  }
+}
+
+TEST(ChaosMatrixTest, FlinkNativeAtLeastOnce) {
+  run_matrix(Engine::kFlink, Sdk::kNative);
+}
+TEST(ChaosMatrixTest, FlinkBeamAtLeastOnce) {
+  run_matrix(Engine::kFlink, Sdk::kBeam);
+}
+TEST(ChaosMatrixTest, SparkNativeAtLeastOnce) {
+  run_matrix(Engine::kSpark, Sdk::kNative);
+}
+TEST(ChaosMatrixTest, SparkBeamAtLeastOnce) {
+  run_matrix(Engine::kSpark, Sdk::kBeam);
+}
+TEST(ChaosMatrixTest, ApexNativeAtLeastOnce) {
+  run_matrix(Engine::kApex, Sdk::kNative);
+}
+TEST(ChaosMatrixTest, ApexBeamAtLeastOnce) {
+  run_matrix(Engine::kApex, Sdk::kBeam);
+}
+
+TEST(ChaosFlinkExactlyOnceTest, CheckpointedJobMatchesBaselineExactly) {
+  // Barrier-checkpointed source + transactional sink: a crash discards the
+  // open epoch's buffered output and replays from the committed offsets,
+  // so the faulted run's output is *identical* to the unfaulted baseline.
+  for (const std::uint64_t seed : chaos_seeds()) {
+    for (const QueryId query :
+         {QueryId::kIdentity, QueryId::kProjection, QueryId::kGrep}) {
+      SCOPED_TRACE("Flink/native exactly-once " +
+                   workload::query_info(query).name + " seed " +
+                   std::to_string(seed));
+      auto output = run_chaos(Engine::kFlink, Sdk::kNative, query, seed,
+                              /*exactly_once=*/true);
+      auto baseline = direct_baseline(query);
+      std::sort(output.begin(), output.end());
+      std::sort(baseline.begin(), baseline.end());
+      EXPECT_EQ(output, baseline);
+    }
+  }
+}
+
+TEST(ChaosRecoveryMetricsTest, RestartsAndReplaysAreAccounted) {
+  auto& global = runtime::MetricsRegistry::global();
+
+  const auto before_flink = global.snapshot();
+  (void)run_chaos(Engine::kFlink, Sdk::kNative, QueryId::kIdentity, 1,
+                  /*exactly_once=*/false);
+  const auto after_flink = global.snapshot();
+  EXPECT_GT(after_flink.counter("flink.recovery.restarts"),
+            before_flink.counter("flink.recovery.restarts"));
+  EXPECT_GT(after_flink.counter("flink.recovery.replayed_records"),
+            before_flink.counter("flink.recovery.replayed_records"));
+  EXPECT_GT(after_flink.counter("fault.injected"),
+            before_flink.counter("fault.injected"));
+  EXPECT_GE(after_flink.gauge("flink.recovery.time_ms", 0.0), 0.0);
+
+  const auto before_spark = global.snapshot();
+  (void)run_chaos(Engine::kSpark, Sdk::kNative, QueryId::kIdentity, 1,
+                  /*exactly_once=*/false);
+  const auto after_spark = global.snapshot();
+  EXPECT_GT(after_spark.counter("spark.recovery.batch_retries"),
+            before_spark.counter("spark.recovery.batch_retries"));
+  EXPECT_GT(after_spark.counter("spark.recovery.replayed_records"),
+            before_spark.counter("spark.recovery.replayed_records"));
+
+  const auto before_apex = global.snapshot();
+  (void)run_chaos(Engine::kApex, Sdk::kNative, QueryId::kIdentity, 1,
+                  /*exactly_once=*/false);
+  const auto after_apex = global.snapshot();
+  EXPECT_GT(after_apex.counter("apex.recovery.restarts"),
+            before_apex.counter("apex.recovery.restarts"));
+  EXPECT_GT(after_apex.counter("apex.recovery.replayed_records"),
+            before_apex.counter("apex.recovery.replayed_records"));
+}
+
+}  // namespace
+}  // namespace dsps

@@ -275,6 +275,34 @@ TEST(ReportTest, CsvExportHasOneRowPerRun) {
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);  // header + 2
 }
 
+TEST(ReportTest, RecoverySummaryIsEmptyWithoutActivity) {
+  EXPECT_EQ(render_recovery_summary(runtime::MetricsSnapshot{}), "");
+}
+
+TEST(ReportTest, RecoverySummaryShowsPerEngineRowsAndSubstrateCounters) {
+  runtime::MetricsSnapshot snapshot;
+  snapshot.counters["flink.recovery.restarts"] = 2;
+  snapshot.counters["flink.recovery.replayed_records"] = 4000;
+  snapshot.gauges["flink.recovery.time_ms"] = 12.5;
+  snapshot.counters["spark.recovery.batch_retries"] = 3;
+  snapshot.counters["spark.recovery.replayed_records"] = 9000;
+  snapshot.counters["fault.injected"] = 5;
+  snapshot.counters["fault.operator_throw"] = 5;
+  snapshot.counters["runtime.task_restarts"] = 2;
+  snapshot.counters["yarn.container_relaunches"] = 1;
+  const std::string rendered = render_recovery_summary(snapshot);
+  EXPECT_NE(rendered.find("Flink"), std::string::npos);
+  EXPECT_NE(rendered.find("4000"), std::string::npos);
+  EXPECT_NE(rendered.find("12.50"), std::string::npos);
+  EXPECT_NE(rendered.find("9000"), std::string::npos);
+  EXPECT_NE(rendered.find("faults injected: 5"), std::string::npos);
+  EXPECT_NE(rendered.find("operator_throw=5"), std::string::npos);
+  EXPECT_NE(rendered.find("task restarts: 2"), std::string::npos);
+  EXPECT_NE(rendered.find("container relaunches: 1"), std::string::npos);
+  // Apex saw no activity but still gets a row (all-engine table shape).
+  EXPECT_NE(rendered.find("Apex"), std::string::npos);
+}
+
 // --- transcribed paper data ------------------------------------------------------------------
 
 TEST(PaperDataTest, AllFiguresFullyTranscribed) {

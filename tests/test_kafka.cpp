@@ -2,12 +2,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "common/clock.hpp"
 #include "kafka/broker.hpp"
 #include "kafka/consumer.hpp"
 #include "kafka/producer.hpp"
+#include "runtime/fault.hpp"
 
 namespace dsps::kafka {
 namespace {
@@ -470,8 +472,9 @@ TEST(ConsumerTest, PollBatchAdvancesOffsetsPerBatch) {
 
   std::int64_t expected_offset = 0;
   std::vector<std::string> seen;
+  FetchBatch batch;
   while (!consumer.at_end()) {
-    const auto batch = consumer.poll_batch(0);
+    EXPECT_EQ(consumer.poll_batch(0, batch), FetchState::kOk);
     ASSERT_FALSE(batch.empty());
     EXPECT_EQ(batch.tp, (TopicPartition{"t", 0}));
     EXPECT_EQ(batch.base_offset, expected_offset);
@@ -489,7 +492,8 @@ TEST(ConsumerTest, PollBatchAdvancesOffsetsPerBatch) {
     EXPECT_EQ(seen[static_cast<std::size_t>(i)], std::to_string(i));
   }
   // Drained: a further non-blocking batch poll returns an empty batch.
-  EXPECT_TRUE(consumer.poll_batch(0).empty());
+  EXPECT_EQ(consumer.poll_batch(0, batch), FetchState::kOk);
+  EXPECT_TRUE(batch.empty());
 }
 
 TEST(ConsumerTest, PollBatchRoundRobinsPartitions) {
@@ -505,8 +509,9 @@ TEST(ConsumerTest, PollBatchRoundRobinsPartitions) {
   Consumer consumer(broker, ConsumerConfig{.max_poll_records = 100});
   consumer.subscribe("t").expect_ok();
   std::size_t total = 0;
+  FetchBatch batch;
   while (!consumer.at_end()) {
-    const auto batch = consumer.poll_batch(0);
+    EXPECT_EQ(consumer.poll_batch(0, batch), FetchState::kOk);
     // Each batch is contiguous records of a single partition.
     for (const auto& record : batch.records) {
       EXPECT_EQ(record.offset - batch.base_offset,
@@ -588,6 +593,124 @@ TEST(KafkaIntegrationTest, ProducerToConsumerEndToEnd) {
     }
   }
   EXPECT_EQ(expected, 1000);
+}
+
+// --- broker shutdown / drain semantics ---------------------------------------------
+
+TEST(BrokerShutdownTest, PollBatchDrainsThenReportsClosed) {
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  for (int i = 0; i < 3; ++i) {
+    broker.append({"t", 0}, ProducerRecord{.value = std::to_string(i)}, false)
+        .status()
+        .expect_ok();
+  }
+  Consumer consumer(broker);
+  consumer.subscribe("t").expect_ok();
+  broker.begin_shutdown();
+
+  // Stored records stay fetchable: the final batch still delivers them.
+  FetchBatch batch;
+  EXPECT_EQ(consumer.poll_batch(/*timeout_ms=*/1000, batch),
+            FetchState::kClosed);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch.records[0].value, "0");
+  EXPECT_EQ(batch.records[2].value, "2");
+
+  // Drained: further polls deliver empty final batches, still kClosed.
+  EXPECT_EQ(consumer.poll_batch(/*timeout_ms=*/1000, batch),
+            FetchState::kClosed);
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(BrokerShutdownTest, AppendAfterShutdownIsRejected) {
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  broker.begin_shutdown();
+  const auto single =
+      broker.append({"t", 0}, ProducerRecord{.value = "x"}, false);
+  EXPECT_EQ(single.status().code(), StatusCode::kClosed);
+  const auto batch = broker.append_batch(
+      {"t", 0}, {ProducerRecord{.value = "x"}}, false);
+  EXPECT_EQ(batch.status().code(), StatusCode::kClosed);
+}
+
+TEST(BrokerShutdownTest, ShutdownWakesBlockedPollBatch) {
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  std::atomic<bool> polling{false};
+  FetchState state = FetchState::kOk;
+  std::thread poller([&] {
+    Consumer consumer(broker);
+    consumer.subscribe("t").expect_ok();
+    FetchBatch batch;
+    polling.store(true);
+    state = consumer.poll_batch(/*timeout_ms=*/10'000, batch);
+  });
+  while (!polling.load()) std::this_thread::yield();
+  // Let the poller enter its blocking fetch, then shut down: it must return
+  // promptly rather than sleeping out the 10 s fetch timeout.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Stopwatch watch;
+  broker.begin_shutdown();
+  poller.join();
+  EXPECT_EQ(state, FetchState::kClosed);
+  EXPECT_LT(watch.elapsed_ms(), 5000.0);
+}
+
+// --- producer retries under injected outages -----------------------------------
+
+TEST(ProducerTest, RetriesThroughInjectedBrokerOutage) {
+  auto& injector = runtime::FaultInjector::instance();
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  // The second append to "t" opens a 2 ms unavailability window; the
+  // producer's capped-backoff retry loop must ride it out.
+  injector.arm(7, {runtime::FaultRule{
+                      .point = runtime::FaultPoint::kBrokerUnavailable,
+                      .site = "t",
+                      .after_hits = 1,
+                      .times = 1,
+                      .param_us = 2'000}});
+  Producer producer(broker,
+                    ProducerConfig{.batch_size = 1, .max_retries = 10});
+  producer.send("t", 0, ProducerRecord{.value = "first"}).expect_ok();
+  producer.send("t", 0, ProducerRecord{.value = "second"}).expect_ok();
+  producer.close().expect_ok();
+  injector.disarm();
+
+  EXPECT_GT(producer.send_retries(), 0u);
+  EXPECT_GT(injector.injected_count(), 0u);
+  Consumer consumer(broker);
+  consumer.subscribe("t").expect_ok();
+  const auto records = consumer.poll(0);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].value, "first");
+  EXPECT_EQ(records[1].value, "second");
+}
+
+TEST(ProducerTest, SurfacesUnavailableAfterRetryExhaustion) {
+  auto& injector = runtime::FaultInjector::instance();
+  Broker broker;
+  broker.create_topic("t", single_partition()).expect_ok();
+  // A 300 ms outage against a single fast retry: the send must surface
+  // kUnavailable instead of spinning until the window closes.
+  injector.arm(11, {runtime::FaultRule{
+                       .point = runtime::FaultPoint::kBrokerUnavailable,
+                       .site = "t",
+                       .after_hits = 1,
+                       .times = 1,
+                       .param_us = 300'000}});
+  Producer producer(
+      broker,
+      ProducerConfig{.batch_size = 1,
+                     .max_retries = 1,
+                     .retry_backoff = {.initial_us = 100, .max_us = 100}});
+  producer.send("t", 0, ProducerRecord{.value = "first"}).expect_ok();
+  const Status second = producer.send("t", 0, ProducerRecord{.value = "x"});
+  EXPECT_EQ(second.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(producer.send_retries(), 1u);
+  injector.disarm();
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include "beam/pipeline.hpp"
 #include "beam/runners/direct_runner.hpp"
 #include "flink/environment.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/payload.hpp"
 #include "runtime/task_runtime.hpp"
@@ -290,6 +291,237 @@ TEST(TaskRuntimeTest, WaitIsIdempotentAndDestructorJoins) {
     });
   }  // destructor joins the straggler without aborting
   EXPECT_TRUE(ran.load());
+}
+
+TEST(TaskRuntimeTest, OrderedDrainSurvivesWorkerThrowingDuringStop) {
+  // Regression: wait() used to mark a task joined before its failure was
+  // published, so a concurrent ordered drain could read first_failure()
+  // too early — or two waiters raced the same std::thread::join and one
+  // hung forever. Both drains below must finish and see the error.
+  TaskRuntime tasks("test");
+  tasks.set_failure_handler(
+      [&tasks](const Status&) { tasks.request_stop(); });
+  std::atomic<bool> release{false};
+  tasks.spawn("blocker", [&] {
+    while (!release.load() && !tasks.stop_requested()) {
+      std::this_thread::yield();
+    }
+  });
+  const auto thrower = tasks.spawn("thrower", [&] {
+    while (!release.load()) std::this_thread::yield();
+    throw std::runtime_error("died during drain");
+  });
+  std::thread concurrent([&tasks, thrower] { tasks.wait(thrower); });
+  release.store(true);
+  const Status status = tasks.join_all();
+  concurrent.join();
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_NE(status.to_string().find("died during drain"), std::string::npos);
+  EXPECT_NE(tasks.first_failure().to_string().find("thrower"),
+            std::string::npos);
+}
+
+TEST(TaskRuntimeTest, SupervisedTaskRestartsUntilSuccess) {
+  const std::uint64_t restarts_before =
+      MetricsRegistry::global().snapshot().counter("runtime.task_restarts");
+  TaskRuntime tasks("test");
+  std::atomic<int> attempts{0};
+  tasks.spawn_supervised(
+      "flaky",
+      [&attempts] {
+        if (attempts.fetch_add(1) < 2) throw std::runtime_error("transient");
+      },
+      runtime::RestartPolicy{.max_attempts = 5,
+                             .backoff = {.initial_us = 1, .max_us = 1}});
+  EXPECT_TRUE(tasks.join_all().is_ok());
+  EXPECT_EQ(attempts.load(), 3);
+  EXPECT_EQ(
+      MetricsRegistry::global().snapshot().counter("runtime.task_restarts"),
+      restarts_before + 2);
+}
+
+TEST(TaskRuntimeTest, SupervisedTaskExhaustionSurfacesLastError) {
+  TaskRuntime tasks("test");
+  std::atomic<int> attempts{0};
+  tasks.spawn_supervised(
+      "doomed",
+      [&attempts] {
+        throw std::runtime_error("attempt " +
+                                 std::to_string(attempts.fetch_add(1)));
+      },
+      runtime::RestartPolicy{.max_attempts = 3,
+                             .backoff = {.initial_us = 1, .max_us = 1}});
+  const Status status = tasks.join_all();
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(attempts.load(), 3);
+  // Exhaustion surfaces the *last* attempt's error, not the first.
+  EXPECT_NE(status.to_string().find("attempt 2"), std::string::npos);
+}
+
+// --- Backoff / run_supervised ------------------------------------------------
+
+TEST(BackoffTest, GrowsExponentiallyWithinJitterBoundsAndCaps) {
+  const runtime::BackoffPolicy policy{.initial_us = 100,
+                                      .multiplier = 2.0,
+                                      .max_us = 1'000,
+                                      .jitter = 0.2,
+                                      .seed = 1};
+  runtime::Backoff backoff(policy);
+  std::uint64_t base = policy.initial_us;
+  for (int i = 0; i < 10; ++i) {
+    const std::uint64_t delay = backoff.next_delay_us();
+    const double capped =
+        static_cast<double>(std::min<std::uint64_t>(base, policy.max_us));
+    EXPECT_GE(delay,
+              static_cast<std::uint64_t>(capped * (1.0 - policy.jitter)));
+    EXPECT_LE(delay,
+              static_cast<std::uint64_t>(capped * (1.0 + policy.jitter)) + 1);
+    base = std::min<std::uint64_t>(base * 2, policy.max_us);
+  }
+}
+
+TEST(BackoffTest, JitterIsDeterministicPerSeed) {
+  const runtime::BackoffPolicy policy{
+      .initial_us = 200, .multiplier = 2.0, .max_us = 20'000, .seed = 7};
+  runtime::Backoff a(policy);
+  runtime::Backoff b(policy);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(a.next_delay_us(), b.next_delay_us());
+  }
+  // A different seed draws a different jitter stream.
+  runtime::BackoffPolicy other = policy;
+  other.seed = 8;
+  runtime::Backoff c(policy);
+  runtime::Backoff d(other);
+  bool any_differs = false;
+  for (int i = 0; i < 8; ++i) {
+    any_differs |= c.next_delay_us() != d.next_delay_us();
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(BackoffTest, ResetReplaysTheSequence) {
+  runtime::Backoff backoff(runtime::BackoffPolicy{.seed = 99});
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 6; ++i) first.push_back(backoff.next_delay_us());
+  backoff.reset();
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(backoff.next_delay_us(), first[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(RunSupervisedTest, RetriesUntilSuccess) {
+  int attempts = 0;
+  int retries = 0;
+  const Status status = runtime::run_supervised(
+      runtime::RestartPolicy{.max_attempts = 5,
+                             .backoff = {.initial_us = 1, .max_us = 1}},
+      [&attempts](int attempt) -> Status {
+        ++attempts;
+        if (attempt < 2) return Status::internal("transient");
+        return Status::ok();
+      },
+      [&retries](int, const Status&) { ++retries; });
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(retries, 2);
+}
+
+TEST(RunSupervisedTest, ExhaustionSurfacesLastErrorAndSkipsFinalRetryHook) {
+  int retries = 0;
+  const Status status = runtime::run_supervised(
+      runtime::RestartPolicy{.max_attempts = 3,
+                             .backoff = {.initial_us = 1, .max_us = 1}},
+      [](int attempt) -> Status {
+        throw std::runtime_error("boom " + std::to_string(attempt));
+      },
+      [&retries](int, const Status&) { ++retries; });
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_NE(status.to_string().find("boom 2"), std::string::npos);
+  EXPECT_EQ(retries, 2);  // the final, non-retried failure skips on_retry
+}
+
+// --- FaultInjector -----------------------------------------------------------
+
+TEST(FaultInjectorTest, DisarmedPointsAreNoOps) {
+  auto& injector = runtime::FaultInjector::instance();
+  injector.disarm();
+  EXPECT_FALSE(injector.armed());
+  injector.maybe_throw(runtime::FaultPoint::kOperatorThrow, "anywhere");
+  injector.maybe_stall(runtime::FaultPoint::kQueueStall, "anywhere");
+  EXPECT_FALSE(injector.broker_unavailable("anywhere"));
+}
+
+TEST(FaultInjectorTest, FiresAfterHitsAndRespectsTimesCap) {
+  auto& injector = runtime::FaultInjector::instance();
+  injector.arm(1, {runtime::FaultRule{
+                      .point = runtime::FaultPoint::kOperatorThrow,
+                      .site = "op",
+                      .after_hits = 2,
+                      .times = 2}});
+  int thrown = 0;
+  for (int i = 0; i < 8; ++i) {
+    try {
+      injector.maybe_throw(runtime::FaultPoint::kOperatorThrow,
+                           "engine.op.map");
+    } catch (const runtime::FaultInjectedError& error) {
+      ++thrown;
+      EXPECT_EQ(error.point(), runtime::FaultPoint::kOperatorThrow);
+    }
+  }
+  EXPECT_EQ(thrown, 2);  // hits 3 and 4 fire, then the rule is spent
+  EXPECT_EQ(injector.injected_count(), 2u);
+  injector.disarm();
+}
+
+TEST(FaultInjectorTest, SiteSubstringGatesTheRule) {
+  auto& injector = runtime::FaultInjector::instance();
+  injector.arm(1, {runtime::FaultRule{
+                      .point = runtime::FaultPoint::kOperatorThrow,
+                      .site = "flink.source",
+                      .after_hits = 1,
+                      .times = 1}});
+  for (int i = 0; i < 8; ++i) {
+    // A non-matching site never advances the rule, let alone fires it.
+    injector.maybe_throw(runtime::FaultPoint::kOperatorThrow, "spark.batch");
+  }
+  injector.maybe_throw(runtime::FaultPoint::kOperatorThrow,
+                       "flink.source.topic-in");  // hit 1: passes
+  EXPECT_THROW(injector.maybe_throw(runtime::FaultPoint::kOperatorThrow,
+                                    "flink.source.topic-in"),
+               runtime::FaultInjectedError);
+  injector.disarm();
+}
+
+TEST(FaultInjectorTest, DerivedTriggerIsDeterministicPerSeed) {
+  auto fire_position = [](std::uint64_t seed) {
+    auto& injector = runtime::FaultInjector::instance();
+    // after_hits == 0: the trigger position is derived from the seed.
+    injector.arm(seed, {runtime::FaultRule{
+                           .point = runtime::FaultPoint::kOperatorThrow,
+                           .site = "x",
+                           .after_hits = 0,
+                           .times = 1}});
+    int position = -1;
+    for (int i = 0; i < 64; ++i) {
+      try {
+        injector.maybe_throw(runtime::FaultPoint::kOperatorThrow, "x");
+      } catch (const runtime::FaultInjectedError&) {
+        position = i;
+        break;
+      }
+    }
+    injector.disarm();
+    return position;
+  };
+  const int base = fire_position(1234);
+  EXPECT_GE(base, 1);  // derived positions always pass at least one hit
+  EXPECT_EQ(base, fire_position(1234));  // same seed, same kill point
+  bool any_differs = false;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    any_differs |= fire_position(seed) != base;
+  }
+  EXPECT_TRUE(any_differs);  // distinct seeds spread the kill points
 }
 
 // --- cross-engine shutdown contract -----------------------------------------
