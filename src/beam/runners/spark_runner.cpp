@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "beam/fusion.hpp"
 #include "common/clock.hpp"
 #include "spark/streaming_context.hpp"
 
@@ -147,10 +148,12 @@ class StageIterator final : public spark::Iterator<Element> {
 }  // namespace
 
 Result<PipelineResult> SparkRunner::run(const Pipeline& pipeline) {
-  const BeamGraph& graph = pipeline.graph();
-  if (graph.nodes().empty()) {
+  if (pipeline.graph().nodes().empty()) {
     return Status::failed_precondition("empty pipeline");
   }
+  const BeamGraph graph = options_.pipeline.fuse_stages
+                              ? fuse_graph(pipeline.graph()).graph
+                              : pipeline.graph();
   if (graph.contains_stateful()) {
     // Beam 2.3's Spark runner capability matrix: no stateful processing.
     return Status::unsupported(

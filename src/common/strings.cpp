@@ -1,6 +1,11 @@
 #include "common/strings.hpp"
 
 #include <cstdio>
+#include <cstring>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 namespace dsps {
 
@@ -45,8 +50,78 @@ std::string join(const std::vector<std::string>& parts, char delimiter) {
   return out;
 }
 
+namespace {
+
+/// memchr-driven scan over candidate positions [from, n - k]: jump to the
+/// next first-byte hit, verify with one memcmp. Also the tail path of the
+/// vectorized search.
+std::size_t find_by_memchr(const char* haystack, std::size_t n,
+                           const char* needle, std::size_t k,
+                           std::size_t from) noexcept {
+  std::size_t pos = from;
+  while (pos + k <= n) {
+    const void* hit =
+        std::memchr(haystack + pos, needle[0], n - k - pos + 1);
+    if (hit == nullptr) return std::string_view::npos;
+    pos = static_cast<std::size_t>(static_cast<const char*>(hit) - haystack);
+    if (std::memcmp(haystack + pos, needle, k) == 0) return pos;
+    ++pos;
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace
+
+std::size_t find_substring(std::string_view haystack,
+                           std::string_view needle) noexcept {
+  const std::size_t n = haystack.size();
+  const std::size_t k = needle.size();
+  if (k == 0) return 0;
+  if (k > n) return std::string_view::npos;
+  const char* hay = haystack.data();
+  if (k == 1) {
+    const void* hit = std::memchr(hay, needle[0], n);
+    return hit == nullptr
+               ? std::string_view::npos
+               : static_cast<std::size_t>(static_cast<const char*>(hit) -
+                                          hay);
+  }
+
+  std::size_t pos = 0;
+#if defined(__SSE2__)
+  // Vectorized first/last-byte filter (the generic SIMD "memmem" scheme):
+  // for 16 candidate positions at once, compare the needle's first byte at
+  // offset 0 and its last byte at offset k-1; only positions where both
+  // match pay a memcmp. Both loads must stay in bounds: the second load
+  // reads [pos + k - 1, pos + k + 14], so the block is safe while
+  // pos + k + 15 <= n.
+  if (n >= k + 15) {
+    const __m128i first = _mm_set1_epi8(needle[0]);
+    const __m128i last = _mm_set1_epi8(needle[k - 1]);
+    while (pos + k + 15 <= n) {
+      const __m128i block_first = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(hay + pos));
+      const __m128i block_last = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(hay + pos + k - 1));
+      unsigned mask = static_cast<unsigned>(_mm_movemask_epi8(
+          _mm_and_si128(_mm_cmpeq_epi8(block_first, first),
+                        _mm_cmpeq_epi8(block_last, last))));
+      while (mask != 0) {
+        const unsigned bit = static_cast<unsigned>(__builtin_ctz(mask));
+        if (std::memcmp(hay + pos + bit, needle.data(), k) == 0) {
+          return pos + bit;
+        }
+        mask &= mask - 1;
+      }
+      pos += 16;
+    }
+  }
+#endif
+  return find_by_memchr(hay, n, needle.data(), k, pos);
+}
+
 bool contains(std::string_view haystack, std::string_view needle) noexcept {
-  return haystack.find(needle) != std::string_view::npos;
+  return find_substring(haystack, needle) != std::string_view::npos;
 }
 
 std::string pad_left(std::string_view s, std::size_t width) {

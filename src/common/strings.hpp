@@ -17,6 +17,17 @@ std::vector<std::string_view> split_views(std::string_view input,
 /// Joins `parts` with `delimiter`.
 std::string join(const std::vector<std::string>& parts, char delimiter);
 
+/// Position of the first occurrence of `needle` in `haystack`, or npos.
+///
+/// The hot kernel behind the Grep query: a vectorized substring search
+/// (SSE2 first/last-byte filter over 16-byte blocks, memchr elsewhere)
+/// instead of std::string_view::find's byte-at-a-time scan. Every Grep
+/// implementation — the three native ones and the Beam one — funnels
+/// through this, so the speedup applies uniformly and the paper's
+/// *relative* slowdown ordering is preserved.
+std::size_t find_substring(std::string_view haystack,
+                           std::string_view needle) noexcept;
+
 /// True if `haystack` contains `needle` (the Grep query predicate).
 bool contains(std::string_view haystack, std::string_view needle) noexcept;
 

@@ -63,6 +63,7 @@ Result<RunMeasurement> BenchmarkHarness::run_once(const SetupKey& key) {
   ctx.output_topic = output_topic;
   ctx.parallelism = key.parallelism;
   ctx.seed = config_.seed;
+  ctx.fuse_stages = config_.fuse_stages;
 
   RunMeasurement measurement;
   // Optional seeded noise (Table III's outlier analysis): pause before the

@@ -53,6 +53,10 @@ struct HarnessConfig {
   /// ratios land in the paper's bands at the default 20k-record scale).
   std::int64_t broker_rtt_us = 25;
   NoiseConfig noise;  // disabled by default
+  /// Beam setups only: run the fusion optimizer (beam/fusion.hpp). Default
+  /// off — figure reproductions measure the paper's unfused plans; the
+  /// fusion sweep bench flips this to quantify the recoverable share.
+  bool fuse_stages = false;
 
   static HarnessConfig from_env() {
     const BenchScale scale = resolve_bench_scale();
@@ -60,6 +64,7 @@ struct HarnessConfig {
     config.records = scale.records;
     config.runs = scale.runs;
     config.seed = scale.seed;
+    config.fuse_stages = env_flag("STREAMSHIM_FUSE_STAGES");
     return config;
   }
 };

@@ -70,19 +70,23 @@ std::unique_ptr<beam::PipelineRunner> make_runner(Engine engine,
     restart.max_restarts = std::max(0, ctx.recovery.max_restarts);
     restart.backoff = recovery_backoff(ctx.recovery);
   }
+  const beam::PipelineOptions pipeline{.fuse_stages = ctx.fuse_stages};
   switch (engine) {
     case Engine::kFlink:
       return std::make_unique<beam::FlinkRunner>(
           beam::FlinkRunnerOptions{.parallelism = ctx.parallelism,
+                                   .pipeline = pipeline,
                                    .restart = restart});
     case Engine::kSpark:
       return std::make_unique<beam::SparkRunner>(
           beam::SparkRunnerOptions{.parallelism = ctx.parallelism,
+                                   .pipeline = pipeline,
                                    .restart = restart});
     case Engine::kApex:
       return std::make_unique<beam::ApexRunner>(
           beam::ApexRunnerOptions{.parallelism = ctx.parallelism,
-                                  .restart = restart});
+                                  .restart = restart,
+                                  .pipeline = pipeline});
   }
   throw std::invalid_argument("unknown engine");
 }
@@ -104,11 +108,15 @@ Result<std::string> beam_plan(Engine engine, workload::QueryId query,
   switch (engine) {
     case Engine::kFlink:
       return beam::FlinkRunner(
-                 beam::FlinkRunnerOptions{.parallelism = ctx.parallelism})
+                 beam::FlinkRunnerOptions{
+                     .parallelism = ctx.parallelism,
+                     .pipeline = {.fuse_stages = ctx.fuse_stages}})
           .translate_plan(pipeline);
     case Engine::kApex:
       return beam::ApexRunner(
-                 beam::ApexRunnerOptions{.parallelism = ctx.parallelism})
+                 beam::ApexRunnerOptions{
+                     .parallelism = ctx.parallelism,
+                     .pipeline = {.fuse_stages = ctx.fuse_stages}})
           .translate_plan(pipeline);
     case Engine::kSpark:
       return Status::unsupported(

@@ -66,6 +66,11 @@ struct QueryContext {
   /// Seed for the Sample query's randomness.
   std::uint64_t seed = 42;
   RecoveryConfig recovery;
+  /// Beam path only: run the fusion optimizer before translation
+  /// (beam::PipelineOptions::fuse_stages). Off by default so every default
+  /// run reproduces the paper's unfused plans and slowdown factors; the
+  /// native paths ignore it.
+  bool fuse_stages = false;
 };
 
 }  // namespace dsps::queries

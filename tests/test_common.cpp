@@ -514,6 +514,56 @@ TEST(StringsTest, Contains) {
   EXPECT_TRUE(contains("anything", ""));
 }
 
+TEST(StringsTest, FindSubstringEdgeCases) {
+  EXPECT_EQ(find_substring("", ""), 0u);
+  EXPECT_EQ(find_substring("abc", ""), 0u);
+  EXPECT_EQ(find_substring("", "a"), std::string_view::npos);
+  EXPECT_EQ(find_substring("ab", "abc"), std::string_view::npos);
+  EXPECT_EQ(find_substring("abc", "abc"), 0u);
+  EXPECT_EQ(find_substring("xabc", "abc"), 1u);
+  EXPECT_EQ(find_substring("abx", "x"), 2u);
+}
+
+TEST(StringsTest, FindSubstringMatchAtEveryOffsetOfLongHaystacks) {
+  // Sweep the match across vector-block boundaries: the SSE2 path handles
+  // 16 positions at a time, the memchr path handles the tail.
+  const std::string needle = "needle!";
+  for (std::size_t hay_len : {20u, 31u, 32u, 33u, 64u, 100u}) {
+    for (std::size_t at = 0; at + needle.size() <= hay_len; ++at) {
+      std::string hay(hay_len, 'n');  // 'n' stresses the first-byte filter
+      hay.replace(at, needle.size(), needle);
+      EXPECT_EQ(find_substring(hay, needle), at)
+          << "len=" << hay_len << " at=" << at;
+      EXPECT_EQ(find_substring(hay, needle), hay.find(needle));
+    }
+  }
+}
+
+TEST(StringsTest, FindSubstringAgreesWithStdFindOnRandomInputs) {
+  std::uint64_t state = 0x9E3779B97F4A7C15ULL;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string hay(next() % 120, '\0');
+    for (auto& c : hay) c = static_cast<char>('a' + next() % 4);
+    std::string needle(1 + next() % 6, '\0');
+    for (auto& c : needle) c = static_cast<char>('a' + next() % 4);
+    EXPECT_EQ(find_substring(hay, needle), hay.find(needle))
+        << "hay=" << hay << " needle=" << needle;
+  }
+}
+
+TEST(StringsTest, FindSubstringHandlesEmbeddedNulsAndRepeatedPrefixes) {
+  const std::string hay("aa\0aab\0aabaaab", 14);
+  EXPECT_EQ(find_substring(hay, std::string("b\0aab", 5)), 5u);
+  EXPECT_EQ(find_substring("aaaaaaaaaaaaaaaaaaaaaab", "aab"), 20u);
+  EXPECT_EQ(find_substring("ababababababababababababc", "ababc"), 20u);
+}
+
 TEST(StringsTest, Padding) {
   EXPECT_EQ(pad_left("ab", 4), "  ab");
   EXPECT_EQ(pad_right("ab", 4), "ab  ");
