@@ -1,40 +1,258 @@
-// Extension bench: scaling behaviour (the paper's §V names "scaling,
-// parallelism" as future work). Sweeps parallelism 1..4 for the Identity
-// query, native vs Beam, on every engine.
+// Extension bench: the P1..P16 scale-out sweep (the paper's §V names
+// "scaling, parallelism" as future work).
+//
+// Every StreamBench query runs {native, Beam} x {Flink, Spark, Apex} at
+// P in {1, 2, 4, 8, 16} over a 16-partition input log (one consumer per
+// partition at the top end). For each setup the sweep reports:
+//
+//   - throughput(P)            records / min execution time
+//   - speedup                  throughput(P) / throughput(1)
+//   - scaling efficiency       throughput(P) / (P * throughput(1))
+//   - per-P slowdown factor    time(Beam) / time(native), same engine+P —
+//                              does the abstraction penalty grow or shrink
+//                              as the plan fans out?
+//
+// The result lands as a "scaling" section in BENCH_dataplane.json (merged
+// next to perf_smoke's "setups" and chaos_smoke's "chaos" sections) so CI
+// can gate on it once a baseline is committed.
+//
+// STREAMSHIM_SCALING_POINTS=1,4 (or --parallelism 1,4) restricts the sweep
+// to a subset — CI smoke runs P1/P4 only.
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 
-int main() {
-  using namespace dsps;
-  auto config = bench::config_from_env();
-  std::printf("=== Parallelism scaling, Identity query (extension) ===\n");
-  bench::print_scale(config);
+namespace {
 
-  harness::BenchmarkHarness harness(config);
-  std::printf("%-10s %-8s", "engine", "sdk");
-  for (int p = 1; p <= 4; ++p) std::printf("        P%d", p);
-  std::printf("\n");
-  for (const auto engine :
-       {queries::Engine::kFlink, queries::Engine::kSpark,
-        queries::Engine::kApex}) {
-    for (const auto sdk : {queries::Sdk::kNative, queries::Sdk::kBeam}) {
-      std::printf("%-10s %-8s", queries::engine_name(engine),
-                  queries::sdk_name(sdk));
-      for (int parallelism = 1; parallelism <= 4; ++parallelism) {
-        auto measurements = harness.run_setup(harness::SetupKey{
-            engine, sdk, workload::QueryId::kIdentity, parallelism});
-        measurements.status().expect_ok();
-        std::printf("  %7.4fs",
-                    mean(measurements.value().execution_times()));
-      }
-      std::printf("\n");
+std::vector<int> parse_points(const std::string& spec) {
+  std::vector<int> points;
+  std::string token;
+  for (const char c : spec + ",") {
+    if (c == ',') {
+      if (!token.empty()) points.push_back(std::stoi(token));
+      token.clear();
+    } else if (c != ' ') {
+      token += c;
     }
   }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  return points;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dsps;
+
+  std::vector<int> points = {1, 2, 4, 8, 16};
+  std::string spec = env_string("STREAMSHIM_SCALING_POINTS", "");
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--parallelism") == 0) spec = argv[i + 1];
+  }
+  if (!spec.empty()) {
+    points = parse_points(spec);
+    if (points.empty() || points.front() < 1) {
+      std::fprintf(stderr, "bad parallelism points: %s\n", spec.c_str());
+      return 1;
+    }
+  }
+  // Efficiency is defined against P1; sweep it even when not requested.
+  if (points.front() != 1) points.insert(points.begin(), 1);
+  const int max_p = points.back();
+
+  auto config = bench::config_from_env();
+  // One input partition per consumer at the top of the sweep; every P
+  // shares the same ingested log so rows are directly comparable.
+  config.input_partitions = std::max(config.input_partitions, max_p);
+  // Scale-out hides network latency: the sweep defaults to a WAN-ish RTT
+  // (vs the figure benches' 25us) so producer flush stalls dominate and
+  // parallel pipelines visibly overlap them — which also keeps the sweep
+  // meaningful on single-core runners, where CPU-parallel speedup is
+  // physically unavailable. STREAMSHIM_RTT_US overrides as usual.
+  if (env_string("STREAMSHIM_RTT_US", "").empty()) {
+    config.broker_rtt_us = 1000;
+  }
+  // Flush stalls are sleeps, not scheduler noise, so a single run per cell
+  // is already stable — and the Beam-on-Apex setups pay one RTT per record
+  // (single-element bundles), which makes repeated runs expensive.
+  // STREAMSHIM_RUNS still overrides.
+  if (env_string("STREAMSHIM_RUNS", "").empty()) {
+    config.runs = 1;
+  }
+
+  std::printf("=== Scale-out sweep, all queries (extension) ===\n");
+  bench::print_scale(config);
+  std::printf("parallelism points:");
+  for (const int p : points) std::printf(" %d", p);
+  std::printf("   input partitions: %d\n\n", config.input_partitions);
+
+  harness::BenchmarkHarness harness(config);
+
+  struct Cell {
+    double min_seconds = 0.0;
+    double records_per_sec = 0.0;
+  };
+  // (setup label without P suffix, query, P) -> measurement.
+  std::map<std::string, std::map<std::string, std::map<int, Cell>>> cells;
+  std::vector<harness::ScalingPoint> table;
+
+  const auto engines = {queries::Engine::kFlink, queries::Engine::kSpark,
+                        queries::Engine::kApex};
+  const auto sdks = {queries::Sdk::kNative, queries::Sdk::kBeam};
+
+  for (const auto engine : engines) {
+    for (const auto sdk : sdks) {
+      std::string setup = queries::engine_name(engine);
+      if (sdk == queries::Sdk::kBeam) setup += " Beam";
+      for (const auto& info : workload::all_queries()) {
+        for (const int parallelism : points) {
+          const harness::SetupKey key{engine, sdk, info.id, parallelism};
+          std::fprintf(stderr, "  running %-12s %-10s ...",
+                       harness::setup_label(key).c_str(),
+                       info.name.c_str());
+          auto measurements = harness.run_setup(key);
+          measurements.status().expect_ok();
+          const auto times = measurements.value().execution_times();
+          const double best = *std::min_element(times.begin(), times.end());
+          double wall = measurements.value().runs.front().wall_seconds;
+          for (const auto& run : measurements.value().runs) {
+            wall = std::min(wall, run.wall_seconds);
+          }
+          Cell cell;
+          // Sparse outputs (Grep at tiny scales) can land in one append
+          // batch, collapsing the first-to-last-append window to zero;
+          // fall back to job wall time rather than dividing by it.
+          cell.min_seconds = best > 0.0 ? best : wall;
+          cell.records_per_sec =
+              cell.min_seconds > 0.0
+                  ? static_cast<double>(config.records) / cell.min_seconds
+                  : 0.0;
+          cells[setup][info.name][parallelism] = cell;
+          std::fprintf(stderr, " min %.4fs wall %.4fs (%.0f rec/s)\n", best,
+                       wall, cell.records_per_sec);
+        }
+      }
+    }
+  }
+
+  // Derive speedup / efficiency / per-P slowdown.
+  for (const auto engine : engines) {
+    const std::string native = queries::engine_name(engine);
+    const std::string beam = native + " Beam";
+    for (const auto& setup : {native, beam}) {
+      for (const auto& info : workload::all_queries()) {
+        const auto& by_p = cells.at(setup).at(info.name);
+        const double base = by_p.at(1).records_per_sec;
+        for (const int p : points) {
+          const Cell& cell = by_p.at(p);
+          harness::ScalingPoint row;
+          row.setup = setup;
+          row.query = info.name;
+          row.parallelism = p;
+          row.records_per_sec = cell.records_per_sec;
+          row.speedup = base > 0.0 ? cell.records_per_sec / base : 0.0;
+          row.efficiency = row.speedup / static_cast<double>(p);
+          if (setup == beam) {
+            const double native_seconds =
+                cells.at(native).at(info.name).at(p).min_seconds;
+            row.slowdown = native_seconds > 0.0
+                               ? cell.min_seconds / native_seconds
+                               : 0.0;
+          }
+          table.push_back(row);
+        }
+      }
+    }
+  }
+
+  std::printf("\n%s\n", harness::render_scaling_table(table).c_str());
   std::printf(
-      "\nThe paper observed (§III-C1) that differences between parallelism\n"
-      "factors are small compared to the native-vs-Beam gap, and that\n"
-      "higher parallelism does not reliably help these trivial queries —\n"
-      "both visible here: rows differ by far more than columns.\n");
+      "%s", harness::render_partition_gauges(
+                runtime::MetricsRegistry::global().snapshot())
+                .c_str());
+
+  // Headline check: does a native engine actually scale? (>= 2.5x at P4
+  // on Identity for at least one engine, when P4 is in the sweep.)
+  if (std::find(points.begin(), points.end(), 4) != points.end()) {
+    double best_speedup = 0.0;
+    std::string best_setup;
+    for (const auto engine : engines) {
+      const std::string setup = queries::engine_name(engine);
+      const auto& by_p = cells.at(setup).at("Identity");
+      const double base = by_p.at(1).records_per_sec;
+      const double speedup =
+          base > 0.0 ? by_p.at(4).records_per_sec / base : 0.0;
+      if (speedup > best_speedup) {
+        best_speedup = speedup;
+        best_setup = setup;
+      }
+    }
+    std::printf("\nbest native Identity P4 speedup: %.2fx (%s) — %s\n",
+                best_speedup, best_setup.c_str(),
+                best_speedup >= 2.5 ? "real scale-out"
+                                    : "BELOW the 2.5x scale-out bar");
+  }
+
+  // Merge a "scaling" section into BENCH_dataplane.json (same idiom as
+  // chaos_smoke): replace any prior section, append before the final '}'.
+  const char* path = "BENCH_dataplane.json";
+  std::string existing;
+  if (std::FILE* in = std::fopen(path, "r")) {
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+      existing.append(buf, n);
+    }
+    std::fclose(in);
+  }
+  std::string scaling = "  \"scaling\": [\n";
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const auto& row = table[i];
+    char line[512];
+    std::snprintf(line, sizeof(line),
+                  "    {\"setup\": \"%s\", \"query\": \"%s\", "
+                  "\"parallelism\": %d, \"records_per_sec\": %.3f, "
+                  "\"speedup\": %.4f, \"efficiency\": %.4f, "
+                  "\"slowdown\": %.4f}%s\n",
+                  row.setup.c_str(), row.query.c_str(), row.parallelism,
+                  row.records_per_sec, row.speedup, row.efficiency,
+                  row.slowdown, i + 1 < table.size() ? "," : "");
+    scaling += line;
+  }
+  scaling += "  ]\n";
+
+  const std::size_t prior = existing.find("\"scaling\"");
+  if (prior != std::string::npos) {
+    const std::size_t comma = existing.rfind(',', prior);
+    existing = comma != std::string::npos
+                   ? existing.substr(0, comma) + "\n}\n"
+                   : std::string();
+  }
+  const std::size_t close = existing.find_last_of('}');
+  std::string merged;
+  if (close != std::string::npos) {
+    merged = existing.substr(0, close);
+    while (!merged.empty() &&
+           (merged.back() == '\n' || merged.back() == ' ')) {
+      merged.pop_back();
+    }
+    merged += ",\n" + scaling + "}\n";
+  } else {
+    merged = "{\n" + scaling + "}\n";
+  }
+  if (std::FILE* out = std::fopen(path, "w")) {
+    std::fwrite(merged.data(), 1, merged.size(), out);
+    std::fclose(out);
+    std::printf("wrote scaling section into %s\n", path);
+  } else {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
   return 0;
 }

@@ -1,12 +1,19 @@
 #!/usr/bin/env python3
 """Perf-regression gate over BENCH_dataplane.json.
 
-Compares every (setup, query) records_per_sec in a freshly generated
-BENCH_dataplane.json against the committed baseline and fails if any entry
-dropped more than the threshold (default 25%). Entries present only in the
-baseline (coverage removed) fail; entries present only in the current file
-(coverage added) pass — new rows become gated once the baseline is
-regenerated and committed.
+Compares a freshly generated BENCH_dataplane.json against the committed
+baseline and fails on regressions beyond the threshold (default 25%):
+
+  - "setups" (perf_smoke): every (setup, query) records_per_sec.
+  - "scaling" (ext_scaling): every (setup, query, parallelism)
+    records_per_sec. Gated only for keys present in BOTH files, so a
+    baseline regenerated before the sweep existed — or a smoke sweep over
+    a parallelism subset — never fails spuriously; extra coverage on
+    either side is reported as informational.
+
+Entries present only in the baseline "setups" section (coverage removed)
+fail; entries present only in the current file (coverage added) pass — new
+rows become gated once the baseline is regenerated and committed.
 
 Usage:
     check_perf_regression.py BASELINE.json CURRENT.json [--threshold 0.25]
@@ -19,14 +26,57 @@ import json
 import sys
 
 
-def load_setups(path):
+def load_doc(path):
     with open(path) as f:
-        doc = json.load(f)
+        return json.load(f)
+
+
+def setups_rows(doc):
     rows = {}
     for entry in doc.get("setups", []):
         key = (entry["setup"], entry["query"])
         rows[key] = float(entry["records_per_sec"])
     return rows
+
+
+def scaling_rows(doc):
+    rows = {}
+    for entry in doc.get("scaling", []):
+        key = (entry["setup"], entry["query"], int(entry["parallelism"]))
+        rows[key] = float(entry["records_per_sec"])
+    return rows
+
+
+def gate(label, baseline, current, threshold, missing_fails):
+    """Compares one section; returns the list of failure strings."""
+    failures = []
+    for key, base_rps in sorted(baseline.items()):
+        name = " / ".join(str(part) for part in key)
+        if key not in current:
+            if missing_fails:
+                failures.append(f"{name}: missing from current run")
+            else:
+                print(f"  [skip] {label}: {name} (not in current run)")
+            continue
+        cur_rps = current[key]
+        if base_rps <= 0:
+            continue
+        drop = 1.0 - cur_rps / base_rps
+        marker = "FAIL" if drop > threshold else "ok"
+        print(
+            f"  [{marker}] {label}: {name:40s} "
+            f"{base_rps:14.1f} -> {cur_rps:14.1f} rec/s ({-drop:+.1%})"
+        )
+        if drop > threshold:
+            failures.append(
+                f"{label}: {name}: {base_rps:.0f} -> {cur_rps:.0f} rec/s "
+                f"({drop:.1%} drop > {threshold:.0%} allowed)"
+            )
+
+    for key in sorted(set(current) - set(baseline)):
+        name = " / ".join(str(part) for part in key)
+        print(f"  [new ] {label}: {name} (no baseline yet)")
+    return failures
 
 
 def main():
@@ -41,43 +91,40 @@ def main():
     )
     args = parser.parse_args()
 
-    baseline = load_setups(args.baseline)
-    current = load_setups(args.current)
-    if not baseline:
+    baseline_doc = load_doc(args.baseline)
+    current_doc = load_doc(args.current)
+
+    baseline_setups = setups_rows(baseline_doc)
+    if not baseline_setups:
         print("perf gate: baseline has no setups — nothing to compare")
         return 1
 
-    failures = []
-    for key, base_rps in sorted(baseline.items()):
-        setup, query = key
-        if key not in current:
-            failures.append(f"{setup} / {query}: missing from current run")
-            continue
-        cur_rps = current[key]
-        if base_rps <= 0:
-            continue
-        drop = 1.0 - cur_rps / base_rps
-        marker = "FAIL" if drop > args.threshold else "ok"
-        print(
-            f"  [{marker}] {setup:18s} {query:10s} "
-            f"{base_rps:14.1f} -> {cur_rps:14.1f} rec/s ({-drop:+.1%})"
-        )
-        if drop > args.threshold:
-            failures.append(
-                f"{setup} / {query}: {base_rps:.0f} -> {cur_rps:.0f} rec/s "
-                f"({drop:.1%} drop > {args.threshold:.0%} allowed)"
-            )
-
-    added = sorted(set(current) - set(baseline))
-    for setup, query in added:
-        print(f"  [new ] {setup:18s} {query:10s} (no baseline yet)")
+    failures = gate(
+        "setups",
+        baseline_setups,
+        setups_rows(current_doc),
+        args.threshold,
+        missing_fails=True,
+    )
+    # The scaling sweep may cover a parallelism subset in CI smoke runs;
+    # only intersecting keys gate.
+    failures += gate(
+        "scaling",
+        scaling_rows(baseline_doc),
+        scaling_rows(current_doc),
+        args.threshold,
+        missing_fails=False,
+    )
 
     if failures:
         print(f"\nperf gate FAILED ({len(failures)} regression(s)):")
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print(f"\nperf gate passed: {len(baseline)} entries within threshold")
+    gated = len(baseline_setups) + len(
+        set(scaling_rows(baseline_doc)) & set(scaling_rows(current_doc))
+    )
+    print(f"\nperf gate passed: {gated} entries within threshold")
     return 0
 
 

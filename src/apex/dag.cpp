@@ -17,8 +17,8 @@ void Dag::set_partitions(int node, int partitions) {
   require(node >= 0 && node < static_cast<int>(nodes_.size()),
           "unknown DAG node");
   require(partitions >= 1, "partitions must be >= 1");
-  require(!nodes_[static_cast<std::size_t>(node)].is_input || partitions == 1,
-          "input operators cannot be partitioned");
+  // Input operators partition too (Apex's partitionable InputOperator):
+  // each instance learns its slice from OperatorContext at setup.
   nodes_[static_cast<std::size_t>(node)].partitions = partitions;
 }
 

@@ -12,7 +12,7 @@ KafkaPayloadInput::KafkaPayloadInput(kafka::Broker& broker, std::string topic)
 KafkaPayloadInput::KafkaPayloadInput(kafka::Broker& broker, Config config)
     : broker_(broker), config_(std::move(config)), out_(register_output()) {}
 
-void KafkaPayloadInput::setup(const OperatorContext& /*context*/) {
+void KafkaPayloadInput::setup(const OperatorContext& context) {
   consumer_ = std::make_unique<kafka::Consumer>(
       broker_,
       kafka::ConsumerConfig{.group_id = config_.group_id,
@@ -20,6 +20,12 @@ void KafkaPayloadInput::setup(const OperatorContext& /*context*/) {
   const auto partitions = broker_.partition_count(config_.topic);
   partitions.status().expect_ok();
   for (int p = 0; p < partitions.value(); ++p) {
+    // Partitioned input: each physical instance reads its own slice of the
+    // topic (instance i of n takes partitions p where p % n == i).
+    if (context.partition_count > 1 &&
+        p % context.partition_count != context.partition_index) {
+      continue;
+    }
     const kafka::TopicPartition tp{config_.topic, p};
     std::int64_t start = 0;
     if (!config_.group_id.empty()) {
@@ -101,15 +107,21 @@ KafkaPayloadOutput::KafkaPayloadOutput(kafka::Broker& broker, Config config)
       config_(std::move(config)),
       in_(register_input([this](const Tuple& tuple) { on_tuple(tuple); })) {}
 
-void KafkaPayloadOutput::setup(const OperatorContext& /*context*/) {
+void KafkaPayloadOutput::setup(const OperatorContext& context) {
   producer_ = std::make_unique<kafka::Producer>(
       broker_, kafka::ProducerConfig{.acks = config_.acks,
                                      .batch_size = config_.batch_size});
+  partition_ = config_.partition;
+  if (partition_ < 0) {
+    const auto count = broker_.partition_count(config_.topic);
+    count.status().expect_ok();
+    partition_ = context.partition_index % count.value();
+  }
 }
 
 void KafkaPayloadOutput::on_tuple(const Tuple& tuple) {
   producer_
-      ->send(config_.topic, config_.partition,
+      ->send(config_.topic, partition_,
              kafka::ProducerRecord{.key = {},
                                    .value = tuple_cast<Payload>(tuple)})
       .expect_ok();

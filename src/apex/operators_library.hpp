@@ -78,6 +78,9 @@ class KafkaPayloadOutput final : public Operator {
  public:
   struct Config {
     std::string topic;
+    /// Output partition; -1 = auto (the instance's partition_index modulo
+    /// the topic's partition count) so partitioned outputs write to
+    /// disjoint logs.
     int partition = 0;
     kafka::Acks acks = kafka::Acks::kLeader;
     /// 1 = synchronous per-tuple produce (how the generic Beam writer
@@ -99,6 +102,7 @@ class KafkaPayloadOutput final : public Operator {
   kafka::Broker& broker_;
   Config config_;
   int in_;
+  int partition_ = 0;  // resolved at setup() (config or auto by instance)
   std::unique_ptr<kafka::Producer> producer_;
 };
 

@@ -159,10 +159,12 @@ class KafkaWriterDoFn final : public DoFn<ProducerRecordStub, std::int64_t> {
   }
 
   void process(ProcessContext& context) override {
-    producer_
-        ->send(config_.topic, config_.partition,
-               kafka::ProducerRecord{.key = context.element().key,
-                                     .value = context.element().value})
+    kafka::ProducerRecord record{.key = context.element().key,
+                                 .value = context.element().value};
+    (config_.partition < 0
+         ? producer_->send(config_.topic, std::move(record))
+         : producer_->send(config_.topic, config_.partition,
+                           std::move(record)))
         .expect_ok();
     ++written_;
   }

@@ -77,6 +77,9 @@ struct KafkaReadConfig {
 
 struct KafkaWriteConfig {
   std::string topic;
+  /// Output partition; -1 = partitioner-driven (keyless records round-robin
+  /// over the topic's partitions), so parallel writer instances spread their
+  /// output instead of contending on one partition log.
   int partition = 0;
   kafka::Acks acks = kafka::Acks::kLeader;
   /// Producer-side buffering; flushes also happen at bundle boundaries.

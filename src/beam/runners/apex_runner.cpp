@@ -109,11 +109,19 @@ Status translate(const BeamGraph& graph, const ApexRunnerOptions& options,
   }
   std::map<int, int> beam_to_apex;
   for (const auto& node : graph.nodes()) {
+    // The node's parallelism hint wins over the pipeline default — the
+    // runner maps it onto Apex's native operator partitioning.
+    const int node_parallelism = node.parallelism_hint > 0
+                                     ? node.parallelism_hint
+                                     : options.parallelism;
     int apex_id;
     if (node.kind == TransformKind::kRead) {
       apex_id = dag.add_input_operator(node.name, [factory = node.reader] {
         return std::make_unique<BeamApexInput>(factory);
       });
+      // Partitioned read: each physical instance is a reader shard
+      // (BeamApexInput passes its partition index/count to the factory).
+      if (node_parallelism > 1) dag.set_partitions(apex_id, node_parallelism);
     } else {
       apex_id = dag.add_operator(node.name, [factory = node.stage] {
         return std::make_unique<BeamApexStage>(factory);
@@ -122,8 +130,8 @@ Status translate(const BeamGraph& graph, const ApexRunnerOptions& options,
       const bool partitionable = node.kind == TransformKind::kParDo &&
                                  !node.key_hash && !node.stateful &&
                                  !terminal;
-      if (partitionable && options.parallelism > 1) {
-        dag.set_partitions(apex_id, options.parallelism);
+      if (partitionable && node_parallelism > 1) {
+        dag.set_partitions(apex_id, node_parallelism);
       }
     }
     beam_to_apex[node.id] = apex_id;

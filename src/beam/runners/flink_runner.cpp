@@ -107,10 +107,17 @@ Status translate(const BeamGraph& graph, const FlinkRunnerOptions& options,
   if (!options.pipeline.fuse_stages) env.disable_operator_chaining();
 
   std::map<int, int> beam_to_flink;
+  std::map<int, int> beam_parallelism;
   for (const auto& node : graph.nodes()) {
     flink::StreamNode flink_node;
     flink_node.name = translated_name(node);
-    flink_node.parallelism = options.parallelism;
+    // The node's parallelism hint wins over the pipeline default — the
+    // runner maps it onto Flink's native per-operator parallelism.
+    const int node_parallelism = node.parallelism_hint > 0
+                                     ? node.parallelism_hint
+                                     : options.parallelism;
+    flink_node.parallelism = node_parallelism;
+    beam_parallelism[node.id] = node_parallelism;
     if (node.kind == TransformKind::kRead) {
       flink_node.kind = flink::NodeKind::kSource;
       flink_node.make_source = [factory = node.reader] {
@@ -135,6 +142,10 @@ Status translate(const BeamGraph& graph, const FlinkRunnerOptions& options,
         edge.key_fn = [hash = node.key_hash](const flink::Elem& elem) {
           return hash(flink::elem_cast<Element>(elem));
         };
+      } else if (beam_parallelism.at(input) != node_parallelism) {
+        // A parallelism change is a redistribution point: round-robin the
+        // producer's output over the consumer's subtasks.
+        edge.mode = flink::PartitionMode::kRebalance;
       } else {
         edge.mode = flink::PartitionMode::kForward;
       }

@@ -177,13 +177,24 @@ Result<PipelineResult> SparkRunner::run(const Pipeline& pipeline) {
   for (const auto& node : graph.nodes()) {
     counters.push_back(std::make_shared<std::atomic<std::uint64_t>>(0));
     auto counter = counters.back();
+    // Per-transform parallelism: the node's hint wins over the pipeline
+    // default (Beam's way to express engine-native scaling per transform).
+    const int node_parallelism =
+        node.parallelism_hint > 0 ? node.parallelism_hint
+                                  : options_.parallelism;
     if (node.kind == TransformKind::kRead) {
       auto source = std::make_shared<BeamSourceDStreamNode>(
-          node.reader, options_.parallelism);
+          node.reader, node_parallelism);
       ssc.register_input(source);
       spark::DStream<Element> stream(&ssc, source);
-      // Bundle redistribution after the source: costs a shuffle per batch.
-      translated.emplace(node.id, stream.repartition(options_.parallelism));
+      if (node_parallelism > 1) {
+        // Bundle redistribution after the source: costs a shuffle per batch.
+        translated.emplace(node.id, stream.repartition(node_parallelism));
+      } else {
+        // P1: the source already yields exactly one shard — a repartition
+        // here would shuffle every record into the same single split.
+        translated.emplace(node.id, stream);
+      }
       continue;
     }
 
@@ -203,7 +214,7 @@ Result<PipelineResult> SparkRunner::run(const Pipeline& pipeline) {
     if (node.key_hash) {
       input = input.transform<Element>(
           [hash = node.key_hash,
-           parallelism = options_.parallelism](
+           parallelism = node_parallelism](
               spark::RDDPtr<Element> rdd) -> spark::RDDPtr<Element> {
             return std::make_shared<spark::KeyPartitionRDD<Element>>(
                 std::move(rdd), hash, parallelism);

@@ -3,9 +3,12 @@
 // Translation style (matching the real runner as of Beam 2.3):
 //  * stateful ParDo is rejected — the reason the paper had to exclude the
 //    stateful StreamBench queries (§III-B);
-//  * the source is followed by a bundle-redistribution repartition, so at
-//    parallelism 2 every batch pays a shuffle that trivial queries cannot
-//    amortize — the observed P2-slower-than-P1 anomaly (§III-C1);
+//  * at parallelism > 1 the source is followed by a bundle-redistribution
+//    repartition, so every batch pays a shuffle that trivial queries cannot
+//    amortize — the observed P2-slower-than-P1 anomaly (§III-C1). At
+//    parallelism 1 the repartition is skipped: the source already yields
+//    exactly one shard, so the degenerate single-partition shuffle would
+//    move nothing (pinned by SparkPlanShapeTest);
 //  * each transform becomes a mapPartitions stage over boxed elements, one
 //    bundle per partition per batch;
 //  * GroupByKey hash-partitions by key and groups within the micro-batch.

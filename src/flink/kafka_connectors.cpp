@@ -119,6 +119,12 @@ void KafkaStringSink::open(const RuntimeContext& context) {
   producer_ = std::make_unique<kafka::Producer>(
       broker_, kafka::ProducerConfig{.acks = config_.acks,
                                      .batch_size = config_.batch_size});
+  partition_ = config_.partition;
+  if (partition_ < 0) {
+    const auto count = broker_.partition_count(config_.topic);
+    count.status().expect_ok();
+    partition_ = context.subtask_index % count.value();
+  }
   if (config_.checkpoint != nullptr) {
     config_.checkpoint->register_sink(context.subtask_index,
                                       [this] { commit_epoch(); });
@@ -132,7 +138,7 @@ void KafkaStringSink::invoke(const Elem& element) {
     return;
   }
   producer_
-      ->send(config_.topic, config_.partition,
+      ->send(config_.topic, partition_,
              kafka::ProducerRecord{.key = {},
                                    .value = elem_cast<kafka::Payload>(element)})
       .expect_ok();
@@ -141,7 +147,7 @@ void KafkaStringSink::invoke(const Elem& element) {
 void KafkaStringSink::commit_epoch() {
   for (auto& value : pending_) {
     producer_
-        ->send(config_.topic, config_.partition,
+        ->send(config_.topic, partition_,
                kafka::ProducerRecord{.key = {}, .value = std::move(value)})
         .expect_ok();
   }

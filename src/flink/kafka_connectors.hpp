@@ -63,6 +63,9 @@ class KafkaStringSource final : public SourceFunction {
 
 struct KafkaSinkConfig {
   std::string topic;
+  /// Output partition; -1 = auto (subtask_index modulo the topic's
+  /// partition count), so parallel sink subtasks write to disjoint
+  /// partition logs instead of serializing on one log mutex.
   int partition = 0;
   kafka::Acks acks = kafka::Acks::kLeader;
   std::size_t batch_size = 500;
@@ -94,6 +97,7 @@ class KafkaStringSink final : public SinkFunction {
   kafka::Broker& broker_;
   KafkaSinkConfig config_;
   std::unique_ptr<kafka::Producer> producer_;
+  int partition_ = 0;  // resolved at open() (config or auto by subtask)
   std::vector<kafka::Payload> pending_;  // open epoch (transactional mode)
 };
 

@@ -203,6 +203,14 @@ struct JobHandle::State {
       result.job_status = tasks.join_all();
       result.duration_ms = stopwatch.elapsed_ms();
       result.vertex_names = names;
+      // Per-channel backpressure evidence: peak (and final) queue depth of
+      // every input channel, labelled by consumer vertex and subtask.
+      for (const auto& channel : channels) {
+        registry.gauge("channel." + channel->label() + ".peak_depth")
+            .set(static_cast<double>(channel->peak_depth()));
+        registry.gauge("channel." + channel->label() + ".depth")
+            .set(static_cast<double>(channel->depth()));
+      }
       result.metrics = registry.snapshot();
       runtime::MetricsRegistry::global().merge(result.metrics, "flink.");
       joined.store(true);
@@ -299,6 +307,8 @@ Result<std::shared_ptr<JobHandle::State>> launch(const StreamGraph& graph,
       for (int s = 0; s < consumer.parallelism; ++s) {
         channels.push_back(std::make_shared<Channel>(config.channel_capacity,
                                                      single_producer));
+        channels.back()->set_label("v" + std::to_string(edge.to_vertex) +
+                                   ".s" + std::to_string(s));
       }
     }
   }

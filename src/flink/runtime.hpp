@@ -43,20 +43,33 @@ class Channel {
   }
 
   bool push(Envelope envelope) {
-    return spsc_ ? spsc_->push(std::move(envelope))
-                 : mpmc_->push(std::move(envelope));
+    const bool pushed = spsc_ ? spsc_->push(std::move(envelope))
+                              : mpmc_->push(std::move(envelope));
+    if (pushed) note_pushed(1);
+    return pushed;
   }
 
   std::size_t push_batch(std::vector<Envelope>&& envelopes) {
-    return spsc_ ? spsc_->push_batch(std::move(envelopes))
-                 : mpmc_->push_batch(std::move(envelopes));
+    const std::size_t pushed =
+        spsc_ ? spsc_->push_batch(std::move(envelopes))
+              : mpmc_->push_batch(std::move(envelopes));
+    note_pushed(pushed);
+    return pushed;
   }
 
-  std::optional<Envelope> pop() { return spsc_ ? spsc_->pop() : mpmc_->pop(); }
+  std::optional<Envelope> pop() {
+    auto envelope = spsc_ ? spsc_->pop() : mpmc_->pop();
+    if (envelope.has_value()) {
+      depth_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return envelope;
+  }
 
   std::size_t pop_batch(std::vector<Envelope>& out, std::size_t max_items) {
-    return spsc_ ? spsc_->pop_batch(out, max_items)
-                 : mpmc_->pop_batch(out, max_items);
+    const std::size_t popped = spsc_ ? spsc_->pop_batch(out, max_items)
+                                     : mpmc_->pop_batch(out, max_items);
+    depth_.fetch_sub(popped, std::memory_order_relaxed);
+    return popped;
   }
 
   void close() {
@@ -69,9 +82,35 @@ class Channel {
 
   bool single_producer() const noexcept { return spsc_ != nullptr; }
 
+  /// Metrics identity (e.g. "v2.s0"), set once at wiring time.
+  void set_label(std::string label) { label_ = std::move(label); }
+  const std::string& label() const noexcept { return label_; }
+
+  /// Approximate depth accounting (relaxed atomics — monitoring only, the
+  /// exact handoff ordering is the queues' business).
+  std::size_t depth() const noexcept {
+    return depth_.load(std::memory_order_relaxed);
+  }
+  std::size_t peak_depth() const noexcept {
+    return peak_depth_.load(std::memory_order_relaxed);
+  }
+
  private:
+  void note_pushed(std::size_t count) noexcept {
+    if (count == 0) return;
+    const std::size_t depth =
+        depth_.fetch_add(count, std::memory_order_relaxed) + count;
+    std::size_t peak = peak_depth_.load(std::memory_order_relaxed);
+    while (depth > peak && !peak_depth_.compare_exchange_weak(
+                               peak, depth, std::memory_order_relaxed)) {
+    }
+  }
+
   std::unique_ptr<SpscRingQueue<Envelope>> spsc_;
   std::unique_ptr<BoundedQueue<Envelope>> mpmc_;
+  std::string label_;
+  std::atomic<std::size_t> depth_{0};
+  std::atomic<std::size_t> peak_depth_{0};
 };
 
 /// One TaskManager: a bundle of task slots. Slot accounting is real —

@@ -33,7 +33,8 @@ std::uint64_t BenchmarkHarness::expected_grep_matches() const {
 
 Status BenchmarkHarness::ingest() {
   if (ingested_) return Status::ok();
-  if (Status s = workload::create_benchmark_topic(broker_, input_topic_);
+  if (Status s = workload::create_benchmark_topic(
+          broker_, input_topic_, std::max(1, config_.input_partitions));
       !s.is_ok()) {
     return s;
   }
@@ -52,7 +53,10 @@ Result<RunMeasurement> BenchmarkHarness::run_once(const SetupKey& key) {
 
   const std::string output_topic =
       "benchmark-output-" + std::to_string(next_output_id_++);
-  if (Status s = workload::create_benchmark_topic(broker_, output_topic);
+  // Output fans out with the setup's parallelism so parallel sinks write
+  // disjoint logs; the ResultCalculator already spans all partitions.
+  if (Status s = workload::create_benchmark_topic(
+          broker_, output_topic, std::max(1, key.parallelism));
       !s.is_ok()) {
     return s;
   }

@@ -8,6 +8,7 @@
 //   3. Result calculation — execution time from broker append timestamps.
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,13 @@ struct HarnessConfig {
   /// off — figure reproductions measure the paper's unfused plans; the
   /// fusion sweep bench flips this to quantify the recoverable share.
   bool fuse_stages = false;
+  /// Input topic partitions. 1 = the paper's setup (ordered single log);
+  /// the scale-out sweep fans the input out so N parallel consumers can
+  /// drain N partitions concurrently (STREAMSHIM_INPUT_PARTITIONS).
+  int input_partitions = 1;
+  /// Default setup parallelism for binaries that take it from the env
+  /// (STREAMSHIM_PARALLELISM / --parallelism). 1 = paper-faithful plans.
+  int parallelism = 1;
 
   static HarnessConfig from_env() {
     const BenchScale scale = resolve_bench_scale();
@@ -65,6 +73,12 @@ struct HarnessConfig {
     config.runs = scale.runs;
     config.seed = scale.seed;
     config.fuse_stages = env_flag("STREAMSHIM_FUSE_STAGES");
+    config.parallelism = static_cast<int>(
+        env_i64("STREAMSHIM_PARALLELISM", config.parallelism));
+    // By default the input fans out with the requested parallelism (one
+    // partition per consumer); override to pin it independently.
+    config.input_partitions = static_cast<int>(env_i64(
+        "STREAMSHIM_INPUT_PARTITIONS", std::max(1, config.parallelism)));
     return config;
   }
 };

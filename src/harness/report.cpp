@@ -142,4 +142,66 @@ std::string render_recovery_summary(const runtime::MetricsSnapshot& snapshot) {
   return out;
 }
 
+std::string render_scaling_table(const std::vector<ScalingPoint>& points) {
+  if (points.empty()) return "";
+  std::size_t setup_width = std::string("setup").size();
+  std::size_t query_width = std::string("query").size();
+  for (const auto& p : points) {
+    setup_width = std::max(setup_width, p.setup.size());
+    query_width = std::max(query_width, p.query.size());
+  }
+
+  std::string out = "scaling efficiency (throughput(P) / (P * throughput(1)))\n";
+  out += "  " + pad_right("setup", setup_width) + "  " +
+         pad_right("query", query_width) + pad_left("P", 4) +
+         pad_left("rec/s", 12) + pad_left("speedup", 9) +
+         pad_left("eff", 7) + pad_left("slowdown", 10) + "\n";
+  std::string last_block;
+  for (const auto& p : points) {
+    const std::string block = p.setup + "/" + p.query;
+    if (!last_block.empty() && block != last_block) out += "\n";
+    last_block = block;
+    out += "  " + pad_right(p.setup, setup_width) + "  " +
+           pad_right(p.query, query_width) +
+           pad_left(std::to_string(p.parallelism), 4) +
+           pad_left(format_double(p.records_per_sec, 0), 12) +
+           pad_left(format_double(p.speedup, 2), 9) +
+           pad_left(format_double(p.efficiency, 2), 7);
+    out += p.slowdown > 0.0 ? pad_left(format_double(p.slowdown, 2), 10)
+                            : pad_left("-", 10);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string render_partition_gauges(const runtime::MetricsSnapshot& snapshot) {
+  std::vector<std::pair<std::string, double>> lag;
+  std::vector<std::pair<std::string, double>> depth;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (name.rfind("kafka.lag.", 0) == 0) {
+      lag.emplace_back(name.substr(std::string("kafka.lag.").size()), value);
+    } else if (name.find(".channel.") != std::string::npos &&
+               name.size() > 11 &&
+               name.compare(name.size() - 11, 11, ".peak_depth") == 0) {
+      depth.emplace_back(name, value);
+    }
+  }
+  if (lag.empty() && depth.empty()) return "";
+
+  std::string out = "per-partition data plane\n";
+  if (!lag.empty()) {
+    out += "  consumer lag (group.topic.partition -> records behind)\n";
+    for (const auto& [name, value] : lag) {
+      out += "    " + name + " = " + format_double(value, 0) + "\n";
+    }
+  }
+  if (!depth.empty()) {
+    out += "  channel peak queue depth (vertex.subtask -> records)\n";
+    for (const auto& [name, value] : depth) {
+      out += "    " + name + " = " + format_double(value, 0) + "\n";
+    }
+  }
+  return out;
+}
+
 }  // namespace dsps::harness

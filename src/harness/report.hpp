@@ -30,4 +30,28 @@ std::string to_csv(const MeasurementSet& set);
 /// Empty string when the snapshot records no recovery or fault activity.
 std::string render_recovery_summary(const runtime::MetricsSnapshot& snapshot);
 
+/// One measured point of the scale-out sweep (bench/ext_scaling).
+struct ScalingPoint {
+  std::string setup;   // "Flink", "Flink Beam", ...
+  std::string query;   // "Identity", ...
+  int parallelism = 1;
+  double records_per_sec = 0.0;
+  /// throughput(P) / throughput(1) for the same setup+query.
+  double speedup = 0.0;
+  /// Scaling efficiency: throughput(P) / (P * throughput(1)).
+  double efficiency = 0.0;
+  /// Beam rows only: execution_time(Beam) / execution_time(native) at the
+  /// same engine, query and parallelism (the paper's slowdown factor,
+  /// tracked per P). 0 when not applicable.
+  double slowdown = 0.0;
+};
+
+/// Scaling-efficiency table, one block per setup+query, one row per P.
+std::string render_scaling_table(const std::vector<ScalingPoint>& points);
+
+/// Per-partition data-plane gauges: consumer lag (kafka.lag.*) and channel
+/// queue depths (*.channel.*.depth/.peak_depth). Empty string when the
+/// snapshot has neither.
+std::string render_partition_gauges(const runtime::MetricsSnapshot& snapshot);
+
 }  // namespace dsps::harness

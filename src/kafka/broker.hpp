@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "kafka/consumer_group.hpp"
 #include "kafka/partition_log.hpp"
 #include "kafka/record.hpp"
 
@@ -99,6 +100,11 @@ class Broker {
   std::int64_t committed_offset(const std::string& group,
                                 const TopicPartition& tp) const;
 
+  /// Consumer-group coordinator: sticky assignment + cooperative rebalance
+  /// (see consumer_group.hpp). Consumers reach it through
+  /// Consumer::subscribe_group.
+  GroupCoordinator& coordinator() noexcept { return coordinator_; }
+
  private:
   struct Topic {
     TopicConfig config;
@@ -118,6 +124,7 @@ class Broker {
   std::map<std::string, std::map<std::string, std::map<int, std::int64_t>>>
       group_offsets_;  // group -> topic -> partition -> offset
   mutable std::mutex offsets_mutex_;
+  GroupCoordinator coordinator_;
 };
 
 }  // namespace dsps::kafka

@@ -3,11 +3,87 @@
 #include <utility>
 
 #include "runtime/fault.hpp"
+#include "runtime/metrics.hpp"
 
 namespace dsps::kafka {
 
 Consumer::Consumer(Broker& broker, ConsumerConfig config)
     : broker_(broker), config_(std::move(config)) {}
+
+Consumer::~Consumer() {
+  if (group_mode_) {
+    broker_.coordinator().leave(config_.group_id, group_topic_, member_id_);
+  }
+}
+
+Status Consumer::subscribe_group(const std::string& topic) {
+  if (config_.group_id.empty()) {
+    return Status::invalid_argument("subscribe_group requires a group_id");
+  }
+  if (group_mode_) {
+    return Status::failed_precondition("already subscribed to a group");
+  }
+  auto partitions = broker_.partition_count(topic);
+  if (!partitions.is_ok()) return partitions.status();
+  member_id_ = broker_.coordinator().join(config_.group_id, topic,
+                                          partitions.value());
+  group_topic_ = topic;
+  group_mode_ = true;
+  // First assignment lands at the next poll via sync_group().
+  return Status::ok();
+}
+
+Status Consumer::leave_group() {
+  if (!group_mode_) return Status::ok();
+  commit();
+  broker_.coordinator().leave(config_.group_id, group_topic_, member_id_);
+  group_mode_ = false;
+  assignments_.clear();
+  next_partition_ = 0;
+  seen_generation_ = -1;
+  return Status::ok();
+}
+
+void Consumer::sync_group() {
+  auto& coordinator = broker_.coordinator();
+  const auto view =
+      coordinator.sync(config_.group_id, group_topic_, member_id_);
+  if (view.generation == seen_generation_) return;
+  seen_generation_ = view.generation;
+
+  // Cooperative revoke: everything poll returned so far has been processed
+  // (the caller is between polls), so the position is safe to make durable.
+  // Commit first, release second — the new owner starts exactly there.
+  for (const int p : view.revoked) {
+    const TopicPartition tp{group_topic_, p};
+    for (std::size_t i = 0; i < assignments_.size(); ++i) {
+      if (!(assignments_[i].tp == tp)) continue;
+      broker_.commit_offset(config_.group_id, tp, assignments_[i].position);
+      assignments_.erase(assignments_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+    coordinator.release(config_.group_id, group_topic_, member_id_, p);
+  }
+
+  // Adopt newly granted partitions at their committed offsets.
+  for (const int p : view.owned) {
+    const TopicPartition tp{group_topic_, p};
+    bool already = false;
+    for (const auto& assignment : assignments_) {
+      if (assignment.tp == tp) {
+        already = true;
+        break;
+      }
+    }
+    if (already) continue;
+    const std::int64_t committed =
+        broker_.committed_offset(config_.group_id, tp);
+    assignments_.push_back(
+        Assignment{.tp = tp, .position = committed >= 0 ? committed : 0});
+  }
+  next_partition_ = 0;
+}
 
 Status Consumer::subscribe(const std::string& topic) {
   auto partitions = broker_.partition_count(topic);
@@ -35,6 +111,7 @@ Status Consumer::assign(const TopicPartition& tp, std::int64_t offset) {
 
 std::vector<ConsumedRecord> Consumer::poll(std::int64_t timeout_ms) {
   std::vector<ConsumedRecord> out;
+  if (group_mode_) sync_group();
   if (assignments_.empty()) return out;
 
   std::vector<StoredRecord> fetched;
@@ -82,6 +159,7 @@ std::vector<ConsumedRecord> Consumer::poll(std::int64_t timeout_ms) {
 FetchState Consumer::poll_batch(std::int64_t timeout_ms, FetchBatch& out) {
   out.records.clear();
   out.base_offset = 0;
+  if (group_mode_) sync_group();
   if (assignments_.empty()) {
     return broker_.shutting_down() ? FetchState::kClosed : FetchState::kOk;
   }
@@ -133,9 +211,20 @@ Status Consumer::seek(const TopicPartition& tp, std::int64_t offset) {
 
 void Consumer::commit() {
   if (config_.group_id.empty()) return;
+  auto& registry = runtime::MetricsRegistry::global();
   for (const auto& assignment : assignments_) {
     broker_.commit_offset(config_.group_id, assignment.tp,
                           assignment.position);
+    // Per-partition consumer-lag gauge: records appended beyond the offset
+    // just committed. The scaling/elasticity work keys off these.
+    const auto end = broker_.end_offset(assignment.tp);
+    if (end.is_ok()) {
+      registry
+          .gauge("kafka.lag." + config_.group_id + "." +
+                 assignment.tp.topic + ".p" +
+                 std::to_string(assignment.tp.partition))
+          .set(static_cast<double>(end.value() - assignment.position));
+    }
   }
 }
 

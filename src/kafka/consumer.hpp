@@ -53,12 +53,33 @@ class Consumer {
  public:
   Consumer(Broker& broker, ConsumerConfig config = {});
 
+  /// Group-subscribed consumers leave the group (without committing — the
+  /// crash-like departure; call leave_group() first for a graceful exit).
+  ~Consumer();
+
   Consumer(const Consumer&) = delete;
   Consumer& operator=(const Consumer&) = delete;
 
   /// Assigns all partitions of `topic`, starting from the committed offset
   /// of the consumer group (or 0 without a group / commit).
   Status subscribe(const std::string& topic);
+
+  /// Coordinator-managed group subscription (requires a group_id): joins
+  /// the consumer group for `topic`; partitions arrive via the sticky
+  /// assignor and move cooperatively as members join and leave. Assignment
+  /// changes are applied at the top of each poll, so everything a poll
+  /// returned has been processed (in the synchronous poll-process-poll
+  /// pattern) before its partition can be revoked: the revoke commits the
+  /// position and only then releases the partition to its new owner —
+  /// no record is lost or delivered twice across a rebalance.
+  Status subscribe_group(const std::string& topic);
+
+  /// Graceful departure: commits all positions, then leaves the group so
+  /// the remaining members pick up exactly where this one stopped.
+  Status leave_group();
+
+  /// True while subscribe_group() membership is active.
+  bool in_group() const noexcept { return group_mode_; }
 
   /// Assigns exactly one partition.
   Status assign(const TopicPartition& tp, std::int64_t offset);
@@ -95,10 +116,19 @@ class Consumer {
     std::int64_t position = 0;
   };
 
+  /// Applies the coordinator's current view: commits + releases revoked
+  /// partitions, adopts newly granted ones at their committed offsets.
+  void sync_group();
+
   Broker& broker_;
   ConsumerConfig config_;
   std::vector<Assignment> assignments_;
   std::size_t next_partition_ = 0;  // round-robin over assignments
+  // Group-subscription state (subscribe_group).
+  bool group_mode_ = false;
+  std::string group_topic_;
+  std::string member_id_;
+  std::int64_t seen_generation_ = -1;
 };
 
 }  // namespace dsps::kafka

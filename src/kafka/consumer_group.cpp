@@ -1,0 +1,193 @@
+#include "kafka/consumer_group.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace dsps::kafka {
+
+std::string GroupCoordinator::join(const std::string& group,
+                                   const std::string& topic, int partitions) {
+  require(partitions >= 1, "topic needs at least one partition");
+  std::lock_guard lock(mutex_);
+  GroupState& state = groups_[{group, topic}];
+  if (state.slots.empty()) {
+    state.slots.assign(static_cast<std::size_t>(partitions), {});
+  }
+  require(state.slots.size() == static_cast<std::size_t>(partitions),
+          "partition count changed under an existing group");
+  const std::string member =
+      group + "-member-" + std::to_string(state.member_seq++);
+  state.members.push_back(member);
+  rebalance(state);
+  ++state.generation;
+  return member;
+}
+
+void GroupCoordinator::leave(const std::string& group,
+                             const std::string& topic,
+                             const std::string& member) {
+  std::lock_guard lock(mutex_);
+  const auto it = groups_.find({group, topic});
+  if (it == groups_.end()) return;
+  GroupState& state = it->second;
+  const auto pos =
+      std::find(state.members.begin(), state.members.end(), member);
+  if (pos == state.members.end()) return;
+  state.members.erase(pos);
+  for (PartitionSlot& slot : state.slots) {
+    // A departed owner can no longer fetch: transfer immediately (to the
+    // destined owner of an in-flight handoff, else back to the pool).
+    if (slot.owner == member) {
+      slot.owner = slot.pending;
+      slot.pending.clear();
+    }
+    // A departed destined owner cancels the handoff.
+    if (slot.pending == member) slot.pending.clear();
+  }
+  rebalance(state);
+  ++state.generation;
+}
+
+GroupCoordinator::SyncResult GroupCoordinator::sync(
+    const std::string& group, const std::string& topic,
+    const std::string& member) const {
+  std::lock_guard lock(mutex_);
+  SyncResult result;
+  const auto it = groups_.find({group, topic});
+  if (it == groups_.end()) return result;
+  const GroupState& state = it->second;
+  result.generation = state.generation;
+  for (std::size_t p = 0; p < state.slots.size(); ++p) {
+    const PartitionSlot& slot = state.slots[p];
+    if (slot.owner != member) continue;
+    if (slot.pending.empty()) {
+      result.owned.push_back(static_cast<int>(p));
+    } else {
+      result.revoked.push_back(static_cast<int>(p));
+    }
+  }
+  return result;
+}
+
+void GroupCoordinator::release(const std::string& group,
+                               const std::string& topic,
+                               const std::string& member, int partition) {
+  std::lock_guard lock(mutex_);
+  const auto it = groups_.find({group, topic});
+  if (it == groups_.end()) return;
+  GroupState& state = it->second;
+  if (partition < 0 ||
+      static_cast<std::size_t>(partition) >= state.slots.size()) {
+    return;
+  }
+  PartitionSlot& slot = state.slots[static_cast<std::size_t>(partition)];
+  if (slot.owner != member || slot.pending.empty()) return;
+  slot.owner = slot.pending;
+  slot.pending.clear();
+  ++state.generation;
+}
+
+std::int64_t GroupCoordinator::generation(const std::string& group,
+                                          const std::string& topic) const {
+  std::lock_guard lock(mutex_);
+  const auto it = groups_.find({group, topic});
+  return it == groups_.end() ? 0 : it->second.generation;
+}
+
+std::vector<std::string> GroupCoordinator::members(
+    const std::string& group, const std::string& topic) const {
+  std::lock_guard lock(mutex_);
+  const auto it = groups_.find({group, topic});
+  return it == groups_.end() ? std::vector<std::string>{}
+                             : it->second.members;
+}
+
+void GroupCoordinator::rebalance(GroupState& state) {
+  if (state.members.empty()) {
+    // Last member gone: in-flight handoffs are moot; keep committed offsets
+    // (they live in the broker), drop ownership.
+    for (PartitionSlot& slot : state.slots) {
+      slot.owner.clear();
+      slot.pending.clear();
+    }
+    return;
+  }
+
+  // The destined owner of every slot as of now: a handoff in flight counts
+  // for its target, not the member still draining it.
+  const std::size_t n = state.slots.size();
+  const std::size_t m = state.members.size();
+  std::vector<std::string> destined(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    const PartitionSlot& slot = state.slots[p];
+    destined[p] = slot.pending.empty() ? slot.owner : slot.pending;
+  }
+
+  // Balanced target share in join order: first (n % m) members take the
+  // extra partition.
+  std::map<std::string, std::size_t> target;
+  for (std::size_t i = 0; i < m; ++i) {
+    target[state.members[i]] = n / m + (i < n % m ? 1 : 0);
+  }
+
+  // Sticky phase: each member keeps its destined partitions up to target,
+  // preferring ones it actually owns (no handoff needed to keep those).
+  std::map<std::string, std::size_t> kept;
+  std::vector<bool> keep(n, false);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t p = 0; p < n; ++p) {
+      if (keep[p] || destined[p].empty()) continue;
+      const bool owned_by_destined = state.slots[p].owner == destined[p];
+      if ((pass == 0) != owned_by_destined) continue;
+      if (target.count(destined[p]) == 0) continue;  // member departed
+      if (kept[destined[p]] < target[destined[p]]) {
+        keep[p] = true;
+        ++kept[destined[p]];
+      }
+    }
+  }
+
+  // Fill phase: surplus and unowned partitions go to under-target members,
+  // join order (deterministic).
+  auto next_under_target = [&](std::size_t& cursor) -> const std::string* {
+    for (std::size_t step = 0; step < m; ++step) {
+      const std::string& candidate = state.members[cursor % m];
+      ++cursor;
+      if (kept[candidate] < target[candidate]) return &candidate;
+    }
+    return nullptr;
+  };
+  std::size_t cursor = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (keep[p]) continue;
+    const std::string* member = next_under_target(cursor);
+    if (member == nullptr) break;  // all targets met (n < m)
+    destined[p] = *member;
+    ++kept[*member];
+  }
+
+  // Apply: same owner => stable; different live owner => cooperative
+  // handoff (owner keeps fetching until release); no live owner => direct
+  // grant.
+  for (std::size_t p = 0; p < n; ++p) {
+    PartitionSlot& slot = state.slots[p];
+    const std::string& d = destined[p];
+    if (d.empty() || slot.owner == d) {
+      slot.pending.clear();
+      continue;
+    }
+    const bool owner_live =
+        !slot.owner.empty() &&
+        std::find(state.members.begin(), state.members.end(), slot.owner) !=
+            state.members.end();
+    if (owner_live) {
+      slot.pending = d;
+    } else {
+      slot.owner = d;
+      slot.pending.clear();
+    }
+  }
+}
+
+}  // namespace dsps::kafka

@@ -1,0 +1,101 @@
+// Consumer-group coordinator: sticky partition assignment with cooperative
+// (two-phase) rebalance, the GroupCoordinator/JoinGroup/SyncGroup analogue.
+//
+// Protocol (sync-on-poll; no background heartbeat threads):
+//   * join(group, topic)   — registers a member and triggers a rebalance.
+//   * sync(member)         — returns the member's current view: the
+//                            partitions it owns and the partitions it must
+//                            revoke (cooperative handoff in progress).
+//   * release(partition)   — the old owner, having committed its offset,
+//                            hands the partition over; only now does the
+//                            destined owner start seeing it in sync().owned.
+//   * leave(member)        — departs; its partitions redistribute. Owned
+//                            partitions transfer immediately (the departed
+//                            member can no longer fetch), so the new owner
+//                            resumes from the last committed offset —
+//                            at-least-once, exactly like a Kafka member
+//                            falling out of the group.
+//
+// Sticky assignment: on every membership change the coordinator recomputes
+// a balanced target (sizes differ by at most one) while moving as few
+// partitions as possible — a member keeps its current partitions up to its
+// target share. A moving partition is never owned by two members at once:
+// it stays with the old owner (marked pending) until released, which is the
+// cooperative-rebalance invariant that makes a mid-stream join/leave safe
+// (no concurrent fetch => no loss, no duplication past the committed
+// offset).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dsps::kafka {
+
+class GroupCoordinator {
+ public:
+  struct SyncResult {
+    std::int64_t generation = 0;
+    /// Partitions the member currently owns and may fetch from.
+    std::vector<int> owned;
+    /// Partitions the member must commit and release() (handoff pending).
+    std::vector<int> revoked;
+  };
+
+  GroupCoordinator() = default;
+  GroupCoordinator(const GroupCoordinator&) = delete;
+  GroupCoordinator& operator=(const GroupCoordinator&) = delete;
+
+  /// Registers a new member for (group, topic) over `partitions` partitions
+  /// and rebalances. Returns the generated member id.
+  std::string join(const std::string& group, const std::string& topic,
+                   int partitions);
+
+  /// Removes the member and rebalances. Partitions it owned (or was due to
+  /// receive) redistribute; owned ones transfer immediately.
+  void leave(const std::string& group, const std::string& topic,
+             const std::string& member);
+
+  /// The member's current assignment view. Cheap (one mutex acquisition) —
+  /// consumers call this once per poll.
+  SyncResult sync(const std::string& group, const std::string& topic,
+                  const std::string& member) const;
+
+  /// Cooperative handoff, phase two: the old owner has committed the
+  /// partition's offset and relinquishes it to the destined owner.
+  void release(const std::string& group, const std::string& topic,
+               const std::string& member, int partition);
+
+  /// Current rebalance generation (bumps on join/leave/release).
+  std::int64_t generation(const std::string& group,
+                          const std::string& topic) const;
+
+  /// Members currently registered, in join order (test/debug surface).
+  std::vector<std::string> members(const std::string& group,
+                                   const std::string& topic) const;
+
+ private:
+  struct PartitionSlot {
+    std::string owner;    // fetching member ("" = unowned)
+    std::string pending;  // destined owner during a cooperative handoff
+  };
+
+  struct GroupState {
+    std::int64_t generation = 0;
+    int member_seq = 0;
+    std::vector<std::string> members;  // join order
+    std::vector<PartitionSlot> slots;  // index == partition
+  };
+
+  /// Sticky rebalance over `state` (callers hold mutex_).
+  static void rebalance(GroupState& state);
+
+  using Key = std::pair<std::string, std::string>;  // (group, topic)
+
+  mutable std::mutex mutex_;
+  std::map<Key, GroupState> groups_;
+};
+
+}  // namespace dsps::kafka

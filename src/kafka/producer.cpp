@@ -79,6 +79,23 @@ Status Producer::send(const std::string& topic, Payload key, Payload value) {
               ProducerRecord{.key = std::move(key), .value = std::move(value)});
 }
 
+Status Producer::send(const std::string& topic, ProducerRecord record) {
+  auto count_it = partition_counts_.find(topic);
+  if (count_it == partition_counts_.end()) {
+    auto partitions = broker_.partition_count(topic);
+    if (!partitions.is_ok()) return partitions.status();
+    count_it = partition_counts_.emplace(topic, partitions.value()).first;
+  }
+  const auto n = static_cast<std::uint64_t>(count_it->second);
+  int partition = 0;
+  if (config_.partitioner == Partitioner::kKeyHash && !record.key.empty()) {
+    partition = static_cast<int>(fnv1a(record.key.view()) % n);
+  } else {
+    partition = static_cast<int>(round_robin_++ % n);
+  }
+  return send(topic, partition, std::move(record));
+}
+
 Status Producer::flush_buffer(Buffer& buffer) {
   if (buffer.records.empty()) return Status::ok();
   const bool wait_replication = config_.acks == Acks::kAll;
@@ -101,12 +118,18 @@ Status Producer::flush_buffer(Buffer& buffer) {
   }
   buffer.records.clear();
   // One network round trip per flush when the broker simulates a network
-  // (acks=0 producers fire and forget: no ack to wait for). Spin-wait:
-  // sleep granularity on a loaded box is tens of microseconds, which would
-  // distort the model at our time scale.
+  // (acks=0 producers fire and forget: no ack to wait for). Short RTTs
+  // spin-wait: sleep granularity on a loaded box is tens of microseconds,
+  // which would distort the model at that time scale. Long RTTs sleep and
+  // yield the core instead — an in-flight network wait occupies no CPU, and
+  // modelling it as a spin would (on small machines) serialize the very
+  // latency overlap that scale-out exists to exploit.
   if (config_.acks != Acks::kNone) {
     const std::int64_t rtt_us = broker_.rtt_us();
-    if (rtt_us > 0) {
+    constexpr std::int64_t kSleepableRttUs = 200;
+    if (rtt_us >= kSleepableRttUs) {
+      std::this_thread::sleep_for(std::chrono::microseconds(rtt_us));
+    } else if (rtt_us > 0) {
       const std::int64_t until = steady_clock_us() + rtt_us;
       while (steady_clock_us() < until) {
         // busy wait

@@ -23,8 +23,17 @@ namespace dsps::kafka {
 
 enum class Acks { kNone = 0, kLeader = 1, kAll = -1 };
 
+/// How send(topic, record) picks a partition (Kafka's DefaultPartitioner /
+/// RoundRobinPartitioner):
+///   kKeyHash    — hash of the record key modulo partition count; keyless
+///                 records fall back to round-robin (so a keyless workload
+///                 still spreads over a multi-partition topic);
+///   kRoundRobin — strict rotation regardless of keys.
+enum class Partitioner { kKeyHash, kRoundRobin };
+
 struct ProducerConfig {
   Acks acks = Acks::kLeader;
+  Partitioner partitioner = Partitioner::kKeyHash;
   /// Records buffered per partition before an automatic flush.
   std::size_t batch_size = 500;
   /// Maximum microseconds a buffered record may wait before send() forces a
@@ -53,6 +62,10 @@ class Producer {
 
   /// Convenience: key/value to partition chosen by key hash (or 0 if no key).
   Status send(const std::string& topic, Payload key, Payload value);
+
+  /// Partitioner-driven send: resolves the partition from the configured
+  /// Partitioner and the topic's partition count (cached per topic).
+  Status send(const std::string& topic, ProducerRecord record);
 
   /// Flushes all partition buffers.
   Status flush();
@@ -83,6 +96,10 @@ class Producer {
   // every buffer per send(). last_buffer_ short-circuits the common case of
   // consecutive sends to the same partition without hashing the topic.
   std::unordered_map<std::string, std::vector<std::size_t>> buffer_index_;
+  // Partitioner state: per-topic partition count (topics never shrink) and
+  // the round-robin cursor.
+  std::unordered_map<std::string, int> partition_counts_;
+  std::uint64_t round_robin_ = 0;
   std::size_t last_buffer_ = kNoBuffer;
   std::uint64_t records_sent_ = 0;
   std::uint64_t send_retries_ = 0;

@@ -30,8 +30,8 @@ beam::PCollection<Payload> apply_query_logic(
           [](const Payload& line) { return line; }, "Identity"));
     case QueryId::kSample:
       return values.apply(beam::Filter<Payload>::by(
-          [seed = ctx.seed](const Payload&) {
-            return workload::sample_keep_threadlocal(seed);
+          [seed = ctx.seed](const Payload& line) {
+            return workload::sample_keep(line.view(), seed);
           },
           "Sample"));
     case QueryId::kProjection:
@@ -57,8 +57,12 @@ void build_pipeline(beam::Pipeline& pipeline, workload::QueryId query,
   auto kvs = records.apply(beam::KafkaIO::without_metadata());
   auto values = kvs.apply(beam::Values<Payload>::create<Payload>());
   auto output = apply_query_logic(values, query, ctx);
+  // Scale-out: parallel writer instances spread keyless output round-robin
+  // over the output topic's partitions instead of contending on one log.
   output.apply(beam::KafkaIO::write(
-      *ctx.broker, beam::KafkaWriteConfig{.topic = ctx.output_topic}));
+      *ctx.broker,
+      beam::KafkaWriteConfig{.topic = ctx.output_topic,
+                             .partition = ctx.parallelism > 1 ? -1 : 0}));
 }
 
 std::unique_ptr<beam::PipelineRunner> make_runner(Engine engine,

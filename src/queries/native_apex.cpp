@@ -26,8 +26,8 @@ apex::OperatorFactory query_operator_factory(workload::QueryId query,
       return {};  // no compute operator
     case QueryId::kSample:
       return apex::filter_payload_factory(
-          [seed = ctx.seed](const Payload&) {
-            return workload::sample_keep_threadlocal(seed);
+          [seed = ctx.seed](const Payload& line) {
+            return workload::sample_keep(line.view(), seed);
           });
     case QueryId::kProjection:
       // Slices the tuple in place — the projected payload shares the
@@ -62,6 +62,34 @@ apex::Dag build_dag(workload::QueryId query, const QueryContext& ctx) {
                            .topic = ctx.output_topic}));
 
   apex::OperatorFactory compute = query_operator_factory(query, ctx);
+  if (ctx.parallelism > 1) {
+    // Scale-out plan (§III-A2 VCOREs): the input operator partitions too,
+    // each physical instance draining its own slice of the topic's
+    // partitions; compute instances pair up with them (equal counts =>
+    // pairwise routing); a unifier merges the partitioned results back to
+    // the single Kafka output, exactly where Apex inserts its unifier when
+    // partition counts drop.
+    dag.set_partitions(input, ctx.parallelism);
+    const int unifier = dag.add_operator(
+        "unifier", apex::map_payload_factory(
+                       [](const Payload& line) { return line; }));
+    int tail = input;
+    if (compute) {
+      const int op = dag.add_operator("compute", std::move(compute));
+      dag.set_partitions(op, ctx.parallelism);
+      dag.add_stream("lines", apex::PortRef{input, 0}, apex::PortRef{op, 0},
+                     apex::Locality::kContainerLocal, {});
+      tail = op;
+    }
+    dag.add_stream("merged", apex::PortRef{tail, 0},
+                   apex::PortRef{unifier, 0},
+                   apex::Locality::kContainerLocal, {});
+    dag.add_stream("results", apex::PortRef{unifier, 0},
+                   apex::PortRef{output, 0}, apex::Locality::kContainerLocal,
+                   {});
+    return dag;
+  }
+
   if (!compute) {
     // Identity: input feeds the output operator directly.
     dag.add_stream("lines", apex::PortRef{input, 0}, apex::PortRef{output, 0},
@@ -70,19 +98,10 @@ apex::Dag build_dag(workload::QueryId query, const QueryContext& ctx) {
   }
 
   const int op = dag.add_operator("compute", std::move(compute));
-  if (ctx.parallelism > 1) {
-    dag.set_partitions(op, ctx.parallelism);
-    // Partitioned compute: same container, queues without serialization.
-    dag.add_stream("lines", apex::PortRef{input, 0}, apex::PortRef{op, 0},
-                   apex::Locality::kContainerLocal, {});
-    dag.add_stream("results", apex::PortRef{op, 0}, apex::PortRef{output, 0},
-                   apex::Locality::kContainerLocal, {});
-  } else {
-    dag.add_stream("lines", apex::PortRef{input, 0}, apex::PortRef{op, 0},
-                   apex::Locality::kThreadLocal, {});
-    dag.add_stream("results", apex::PortRef{op, 0}, apex::PortRef{output, 0},
-                   apex::Locality::kThreadLocal, {});
-  }
+  dag.add_stream("lines", apex::PortRef{input, 0}, apex::PortRef{op, 0},
+                 apex::Locality::kThreadLocal, {});
+  dag.add_stream("results", apex::PortRef{op, 0}, apex::PortRef{output, 0},
+                 apex::Locality::kThreadLocal, {});
   return dag;
 }
 

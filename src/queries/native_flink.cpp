@@ -27,8 +27,8 @@ flink::DataStream<Payload> apply_query_operator(
       return lines;  // source feeds the sink directly
     case QueryId::kSample:
       return lines.filter(
-          [seed = ctx.seed](const Payload&) {
-            return workload::sample_keep_threadlocal(seed);
+          [seed = ctx.seed](const Payload& line) {
+            return workload::sample_keep(line.view(), seed);
           },
           "Sample");
     case QueryId::kProjection:
@@ -56,6 +56,9 @@ flink::StreamExecutionEnvironment build_environment(
   env.set_parallelism(ctx.parallelism);
   flink::KafkaSourceConfig source_config{.topic = ctx.input_topic};
   flink::KafkaSinkConfig sink_config{.topic = ctx.output_topic};
+  // Scale-out: each parallel sink subtask writes its own output partition
+  // (otherwise P subtasks serialize on a single partition-log mutex).
+  if (ctx.parallelism > 1) sink_config.partition = -1;
   if (ctx.recovery.enabled) {
     // Barrier checkpointing in both modes — the sink's output is made
     // durable before the source commits the offsets that produced it.

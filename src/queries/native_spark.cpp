@@ -19,8 +19,8 @@ spark::DStream<Payload> apply_query_transform(
     case QueryId::kIdentity:
       return lines;
     case QueryId::kSample:
-      return lines.filter([seed = ctx.seed](const Payload&) {
-        return workload::sample_keep_threadlocal(seed);
+      return lines.filter([seed = ctx.seed](const Payload& line) {
+        return workload::sample_keep(line.view(), seed);
       });
     case QueryId::kProjection:
       // Slices the row in place — RDD rows share the broker's storage.
@@ -51,8 +51,12 @@ Status run_native_spark(workload::QueryId query, const QueryContext& ctx) {
 
   auto lines = ssc.kafka_direct_stream(*ctx.broker, ctx.input_topic);
   auto output = apply_query_transform(lines, query, ctx);
-  spark::write_to_kafka(output, *ctx.broker,
-                        spark::KafkaWriteConfig{.topic = ctx.output_topic});
+  // Scale-out: each write task targets its own output partition (split
+  // index), instead of all executor cores funneling into partition 0.
+  spark::write_to_kafka(
+      output, *ctx.broker,
+      spark::KafkaWriteConfig{.topic = ctx.output_topic,
+                              .partition = ctx.parallelism > 1 ? -1 : 0});
   return ssc.run_bounded();
 }
 

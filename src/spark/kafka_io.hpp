@@ -14,6 +14,8 @@ namespace dsps::spark {
 
 struct KafkaWriteConfig {
   std::string topic;
+  /// Output partition; -1 = auto (the task's split index modulo the topic's
+  /// partition count), so parallel write tasks land on disjoint logs.
   int partition = 0;
   kafka::Acks acks = kafka::Acks::kLeader;
   std::size_t batch_size = 500;
@@ -27,7 +29,13 @@ inline void write_to_kafka(const DStream<kafka::Payload>& stream,
                                        const RDDPtr<kafka::Payload>& rdd) {
     sc.run_job<kafka::Payload>(
         rdd,
-        [&broker, config](int /*split*/, IterPtr<kafka::Payload> iter) {
+        [&broker, config](int split, IterPtr<kafka::Payload> iter) {
+          int partition = config.partition;
+          if (partition < 0) {
+            const auto count = broker.partition_count(config.topic);
+            count.status().expect_ok();
+            partition = split % count.value();
+          }
           // Pulling the iterator drives the whole pipelined stage, so
           // records reach the broker while upstream work is happening.
           kafka::Producer producer(
@@ -35,7 +43,7 @@ inline void write_to_kafka(const DStream<kafka::Payload>& stream,
                                             .batch_size = config.batch_size});
           while (auto value = iter->next()) {
             producer
-                .send(config.topic, config.partition,
+                .send(config.topic, partition,
                       kafka::ProducerRecord{.key = {},
                                             .value = std::move(*value)})
                 .expect_ok();

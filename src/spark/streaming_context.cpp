@@ -327,6 +327,9 @@ bool StreamingContext::all_inputs_drained() const {
 void StreamingContext::publish_metrics() {
   if (metrics_published_) return;
   metrics_published_ = true;
+  // Plan-shape evidence: how many shuffles the job's lineage materialized
+  // (a P1 pipeline with no wide dependency must report 0).
+  registry_.counter("shuffles_run").add(sc_.shuffles_run());
   runtime::MetricsRegistry::global().merge(registry_.snapshot(), "spark.");
 }
 

@@ -29,6 +29,7 @@ Result<IngestReport> DataSender::send_impl(
     const std::function<std::string(std::uint64_t)>& line_at) {
   kafka::Producer producer(
       broker_, kafka::ProducerConfig{.acks = config_.acks,
+                                     .partitioner = config_.partitioner,
                                      .batch_size =
                                          config_.producer_batch_size});
   Stopwatch watch;
@@ -37,8 +38,10 @@ Result<IngestReport> DataSender::send_impl(
           ? 0.0
           : 1e6 / static_cast<double>(config_.ingestion_rate);
   for (std::uint64_t i = 0; i < count; ++i) {
+    // Partitioner-driven (keyless -> round-robin): a one-partition topic
+    // keeps the paper's in-order single log; N partitions spread evenly.
     Status sent = producer.send(
-        config_.topic, /*partition=*/0,
+        config_.topic,
         kafka::ProducerRecord{.key = {}, .value = line_at(i)});
     if (!sent.is_ok()) return sent;
     if (per_record_us > 0.0) {
@@ -57,9 +60,14 @@ Result<IngestReport> DataSender::send_impl(
 
 Status create_benchmark_topic(kafka::Broker& broker,
                               const std::string& name) {
+  return create_benchmark_topic(broker, name, /*partitions=*/1);
+}
+
+Status create_benchmark_topic(kafka::Broker& broker, const std::string& name,
+                              int partitions) {
   return broker.create_topic(
       name, kafka::TopicConfig{
-                .partitions = 1,
+                .partitions = partitions,
                 .replication_factor = 1,
                 .timestamp_type = kafka::TimestampType::kLogAppendTime});
 }

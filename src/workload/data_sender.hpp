@@ -24,6 +24,10 @@ struct DataSenderConfig {
   std::uint64_t ingestion_rate = 0;
   kafka::Acks acks = kafka::Acks::kLeader;
   std::size_t producer_batch_size = 1000;
+  /// How records spread over a multi-partition topic. The paper's setup is
+  /// a one-partition topic, where both partitioners degenerate to
+  /// partition 0; the scale-out sweep round-robins over N partitions.
+  kafka::Partitioner partitioner = kafka::Partitioner::kRoundRobin;
 };
 
 struct IngestReport {
@@ -52,7 +56,11 @@ class DataSender {
 };
 
 /// Creates the benchmark topic exactly as the paper does: one partition,
-/// replication factor one, LogAppendTime stamping.
+/// replication factor one, LogAppendTime stamping. The `partitions`
+/// overload keeps the paper's replication/timestamp setup but fans the
+/// topic out for the scale-out sweep.
 Status create_benchmark_topic(kafka::Broker& broker, const std::string& name);
+Status create_benchmark_topic(kafka::Broker& broker, const std::string& name,
+                              int partitions);
 
 }  // namespace dsps::workload

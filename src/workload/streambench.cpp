@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "common/strings.hpp"
@@ -62,6 +63,21 @@ SampleDecider::SampleDecider(std::uint64_t seed)
 
 bool SampleDecider::keep() {
   return impl_->rng.next_double() < kSampleFraction;
+}
+
+bool sample_keep(std::string_view line, std::uint64_t seed) {
+  // splitmix64 finalizer over fnv1a(line) ^ seed: the raw FNV hash is not
+  // uniform enough in its high bits for a threshold comparison.
+  std::uint64_t h = fnv1a(line) ^ seed;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  // Top 53 bits -> [0, 1), the same mapping Xoshiro256::next_double uses.
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  return u < kSampleFraction;
 }
 
 bool sample_keep_threadlocal(std::uint64_t seed) {

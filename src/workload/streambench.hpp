@@ -66,4 +66,10 @@ class SampleDecider {
 /// exact kept-set depends on thread scheduling.
 bool sample_keep_threadlocal(std::uint64_t seed);
 
+/// Content-deterministic sampler: the keep decision is a pure function of
+/// (line, seed), so the kept-set is identical regardless of how records are
+/// partitioned across parallel operator instances. All engine pipelines use
+/// this one — it is what makes a P8 run byte-equal to the P1 run.
+bool sample_keep(std::string_view line, std::uint64_t seed);
+
 }  // namespace dsps::workload

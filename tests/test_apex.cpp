@@ -149,12 +149,22 @@ TEST(ApexDagTest, RejectsUnevenThreadLocalPartitions) {
   EXPECT_EQ(dag.validate().code(), StatusCode::kInvalidArgument);
 }
 
-TEST(ApexDagTest, RejectsPartitionedInputOperator) {
+TEST(ApexDagTest, AcceptsPartitionedInputOperator) {
+  // Input operators partition like any other (each instance reads its own
+  // slice of the topic at setup — see KafkaPayloadInput).
   Dag dag;
   const int in = dag.add_input_operator("in", [] {
     return std::make_unique<IntInput>(1);
   });
-  EXPECT_THROW(dag.set_partitions(in, 2), std::invalid_argument);
+  dag.set_partitions(in, 4);
+  const int op = dag.add_operator("op", [] {
+    return std::make_unique<CollectorOp>(
+        std::make_shared<CollectorOp::Shared>());
+  });
+  dag.set_partitions(op, 4);
+  dag.add_stream("s", PortRef{in, 0}, PortRef{op, 0},
+                 Locality::kContainerLocal, {});
+  EXPECT_TRUE(dag.validate().is_ok());
 }
 
 TEST(ApexDagTest, RejectsDagWithoutInputOperator) {
@@ -448,6 +458,50 @@ TEST(ApexKafkaTest, KafkaInputToOutputOnYarn) {
   auto stats = launch_application(test_rm(), dag, EngineConfig{});
   ASSERT_TRUE(stats.is_ok());
   EXPECT_EQ(broker.end_offset({"out", 0}).value(), 300);
+}
+
+TEST(ApexKafkaTest, PartitionedInputDrainsAllTopicPartitionsOnce) {
+  // Scale-out path: a 4-way partitioned input operator over a 4-partition
+  // topic, auto-partitioned output (-1). Every record must come out exactly
+  // once, spread over the output partitions.
+  kafka::Broker broker;
+  broker.create_topic("in", kafka::TopicConfig{.partitions = 4}).expect_ok();
+  broker.create_topic("out", kafka::TopicConfig{.partitions = 4}).expect_ok();
+  for (int i = 0; i < 400; ++i) {
+    broker.append({"in", i % 4},
+                  kafka::ProducerRecord{.value = std::to_string(i)}, false)
+        .status()
+        .expect_ok();
+  }
+  Dag dag;
+  const int in =
+      dag.add_input_operator("kafkaIn", kafka_input_factory(broker, "in"));
+  dag.set_partitions(in, 4);
+  const int out = dag.add_operator(
+      "kafkaOut",
+      kafka_output_factory(
+          broker, KafkaPayloadOutput::Config{.topic = "out", .partition = -1}));
+  dag.set_partitions(out, 4);
+  dag.add_stream("s", PortRef{in, 0}, PortRef{out, 0},
+                 Locality::kContainerLocal, {});
+  auto stats = launch_application(test_rm(), dag, EngineConfig{});
+  ASSERT_TRUE(stats.is_ok()) << stats.status().to_string();
+
+  std::vector<std::string> values;
+  int used_partitions = 0;
+  for (int p = 0; p < 4; ++p) {
+    std::vector<kafka::StoredRecord> records;
+    broker.fetch({"out", p}, 0, 1000, records).status().expect_ok();
+    if (!records.empty()) ++used_partitions;
+    for (const auto& record : records) values.push_back(record.value.str());
+  }
+  ASSERT_EQ(values.size(), 400u);
+  std::sort(values.begin(), values.end());
+  std::vector<std::string> expected = string_range(400);
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(values, expected);
+  // The -1 sink really fanned out (each instance wrote its own partition).
+  EXPECT_EQ(used_partitions, 4);
 }
 
 }  // namespace

@@ -1,0 +1,124 @@
+// Scale-out correctness: parallelism must not change the answer.
+//
+// 1. P1-vs-P8 differential: every (engine, sdk, query) setup runs once at
+//    parallelism 1 over a single-partition input log and once at
+//    parallelism 8 over an 8-partition input log — the output multisets
+//    must be identical. This pins the content-deterministic Sample hash
+//    (partitioning must not perturb which records are kept) and the
+//    partition-sharded sources/sinks (no record lost or duplicated by the
+//    fan-out/fan-in plumbing).
+// 2. Spark plan shape: a parallelism-1 pipeline must not schedule the
+//    degenerate single-partition repartition — `spark.shuffles_run` stays
+//    flat at P1 (native and Beam) and rises at P>1.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "kafka/broker.hpp"
+#include "queries/query_factory.hpp"
+#include "runtime/metrics.hpp"
+#include "workload/aol_generator.hpp"
+#include "workload/data_sender.hpp"
+
+namespace dsps {
+namespace {
+
+using queries::Engine;
+using queries::Sdk;
+using workload::QueryId;
+
+constexpr std::uint64_t kRecords = 2'000;
+constexpr std::uint64_t kSeed = 7;
+
+/// Runs one setup at the given parallelism over a `parallelism`-partition
+/// input log and returns the sorted output record values.
+std::vector<std::string> run_at(Engine engine, Sdk sdk, QueryId query,
+                                int parallelism) {
+  kafka::Broker broker;
+  workload::create_benchmark_topic(broker, "in", parallelism).expect_ok();
+  workload::create_benchmark_topic(broker, "out", parallelism).expect_ok();
+
+  workload::AolGenerator generator(workload::AolGeneratorConfig{
+      .record_count = kRecords, .seed = kSeed});
+  workload::DataSender sender(broker,
+                              workload::DataSenderConfig{.topic = "in"});
+  sender.send_generated(generator).status().expect_ok();
+
+  queries::QueryContext ctx;
+  ctx.broker = &broker;
+  ctx.input_topic = "in";
+  ctx.output_topic = "out";
+  ctx.parallelism = parallelism;
+  ctx.seed = kSeed;
+  queries::run_query(engine, sdk, query, ctx).expect_ok();
+
+  std::vector<std::string> out;
+  for (int p = 0; p < parallelism; ++p) {
+    std::vector<kafka::StoredRecord> stored;
+    broker.fetch({"out", p}, 0, 10'000'000, stored).status().expect_ok();
+    for (auto& record : stored) out.push_back(record.value.str());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+struct SetupCase {
+  Engine engine;
+  Sdk sdk;
+};
+
+class ScaleOutDifferentialTest : public ::testing::TestWithParam<SetupCase> {};
+
+TEST_P(ScaleOutDifferentialTest, ParallelOutputsMatchSerial) {
+  const auto [engine, sdk] = GetParam();
+  for (QueryId query : {QueryId::kIdentity, QueryId::kSample,
+                        QueryId::kProjection, QueryId::kGrep}) {
+    SCOPED_TRACE(std::string(queries::engine_name(engine)) + " " +
+                 queries::sdk_name(sdk) + " " +
+                 workload::query_info(query).name);
+    const auto serial = run_at(engine, sdk, query, 1);
+    const auto parallel = run_at(engine, sdk, query, 8);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(parallel, serial);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSetups, ScaleOutDifferentialTest,
+    ::testing::Values(SetupCase{Engine::kFlink, Sdk::kNative},
+                      SetupCase{Engine::kSpark, Sdk::kNative},
+                      SetupCase{Engine::kApex, Sdk::kNative},
+                      SetupCase{Engine::kFlink, Sdk::kBeam},
+                      SetupCase{Engine::kSpark, Sdk::kBeam},
+                      SetupCase{Engine::kApex, Sdk::kBeam}),
+    [](const ::testing::TestParamInfo<SetupCase>& info) {
+      return std::string(queries::engine_name(info.param.engine)) +
+             queries::sdk_name(info.param.sdk);
+    });
+
+/// Delta of the global shuffle counter across one run of a setup.
+std::uint64_t shuffles_for(Sdk sdk, int parallelism) {
+  auto& global = runtime::MetricsRegistry::global();
+  const auto before = global.snapshot().counter("spark.shuffles_run");
+  (void)run_at(Engine::kSpark, sdk, QueryId::kIdentity, parallelism);
+  return global.snapshot().counter("spark.shuffles_run") - before;
+}
+
+TEST(SparkPlanShapeTest, ParallelismOneSchedulesNoShuffle) {
+  EXPECT_EQ(shuffles_for(Sdk::kNative, 1), 0u);
+  EXPECT_EQ(shuffles_for(Sdk::kBeam, 1), 0u);
+}
+
+// The native direct stream maps Kafka partitions 1:1 onto RDD splits and
+// every StreamBench transform is narrow, so the native plan never shuffles
+// at any parallelism; only the Beam translation repartitions (to honor the
+// parallelism hint), and only when it actually fans out.
+TEST(SparkPlanShapeTest, OnlyScaledBeamPlansShuffle) {
+  EXPECT_EQ(shuffles_for(Sdk::kNative, 4), 0u);
+  EXPECT_GT(shuffles_for(Sdk::kBeam, 4), 0u);
+}
+
+}  // namespace
+}  // namespace dsps
