@@ -2,6 +2,9 @@
 // polling — establishes the broker baseline the engine numbers sit on.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+
 #include "kafka/broker.hpp"
 #include "kafka/consumer.hpp"
 #include "kafka/producer.hpp"
@@ -108,6 +111,57 @@ void BM_ProducerSendBatched(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ProducerSendBatched)->Arg(1)->Arg(100)->Arg(1000);
+
+// --- sync vs async producer under simulated RTT ------------------------------
+//
+// The pair below is the microbench view of the PR's sink ablation: same
+// broker RTT (25us, the harness default), same batch size; the sync mode
+// pays one blocking RTT per shipped batch on the caller thread, the async
+// mode hands batches to the background sender, which write-combines and
+// pipelines them. p99_send_us is the caller-visible per-record send cost.
+
+void producer_mode_run(benchmark::State& state, bool async) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  constexpr int kRecords = 2000;
+  kafka::Broker broker;
+  broker.create_topic("t", kafka::TopicConfig{.partitions = 1}).expect_ok();
+  broker.set_rtt_us(25);
+  const std::string value(64, 'x');
+  std::vector<std::int64_t> send_ns;
+  send_ns.reserve(static_cast<std::size_t>(state.max_iterations) * kRecords);
+  for (auto _ : state) {
+    kafka::Producer producer(
+        broker, kafka::ProducerConfig{
+                    .batch_size = batch, .linger_us = 0, .async = async});
+    for (int i = 0; i < kRecords; ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      producer.send("t", 0, kafka::ProducerRecord{.value = value}).expect_ok();
+      send_ns.push_back(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - start)
+                            .count());
+    }
+    producer.close().expect_ok();
+  }
+  state.SetItemsProcessed(state.iterations() * kRecords);
+  std::sort(send_ns.begin(), send_ns.end());
+  const std::int64_t p99 =
+      send_ns.empty() ? 0 : send_ns[send_ns.size() * 99 / 100];
+  state.counters["p99_send_us"] =
+      benchmark::Counter(static_cast<double>(p99) / 1e3);
+  state.SetLabel(std::string(async ? "async" : "sync") +
+                 " batch=" + std::to_string(batch) + " rtt=25us");
+}
+
+void BM_ProducerSyncUnderRtt(benchmark::State& state) {
+  producer_mode_run(state, /*async=*/false);
+}
+// batch=1 is the Beam-on-Apex writer shape; batch=500 the native sink.
+BENCHMARK(BM_ProducerSyncUnderRtt)->Arg(1)->Arg(64)->Arg(500);
+
+void BM_ProducerAsyncUnderRtt(benchmark::State& state) {
+  producer_mode_run(state, /*async=*/true);
+}
+BENCHMARK(BM_ProducerAsyncUnderRtt)->Arg(1)->Arg(64)->Arg(500);
 
 }  // namespace
 

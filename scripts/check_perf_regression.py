@@ -10,6 +10,11 @@ baseline and fails on regressions beyond the threshold (default 25%):
     baseline regenerated before the sweep existed — or a smoke sweep over
     a parallelism subset — never fails spuriously; extra coverage on
     either side is reported as informational.
+  - "async_sinks" (ablation_overheads): every (engine, query, mode)
+    records_per_sec, where mode is one of native_sync / native_async /
+    beam_sync / beam_async. Intersecting keys only, like "scaling" — the
+    section rides along in BENCH_dataplane.json and may be absent from
+    older baselines or CI smoke runs at a different record count.
 
 Entries present only in the baseline "setups" section (coverage removed)
 fail; entries present only in the current file (coverage added) pass — new
@@ -44,6 +49,23 @@ def scaling_rows(doc):
     for entry in doc.get("scaling", []):
         key = (entry["setup"], entry["query"], int(entry["parallelism"]))
         rows[key] = float(entry["records_per_sec"])
+    return rows
+
+
+def async_sinks_rows(doc):
+    """(engine, query, mode) -> records_per_sec, derived from the per-mode
+    execution seconds and the sweep's record count. Sub-millisecond cells
+    (the low-output queries on the fastest paths) are scheduler-noise
+    dominated and are excluded from gating on whichever side they occur."""
+    rows = {}
+    for entry in doc.get("async_sinks", []):
+        records = float(entry.get("records", 0))
+        for mode in ("native_sync", "native_async", "beam_sync", "beam_async"):
+            seconds = float(entry.get(f"{mode}_seconds", 0))
+            if records > 0 and seconds >= 1e-3:
+                rows[(entry["engine"], entry["query"], mode)] = (
+                    records / seconds
+                )
     return rows
 
 
@@ -115,14 +137,28 @@ def main():
         args.threshold,
         missing_fails=False,
     )
+    # Same intersecting-keys policy: the async sweep may run at a different
+    # scale in CI (non-comparable rps) or be absent from older baselines.
+    failures += gate(
+        "async_sinks",
+        async_sinks_rows(baseline_doc),
+        async_sinks_rows(current_doc),
+        args.threshold,
+        missing_fails=False,
+    )
 
     if failures:
         print(f"\nperf gate FAILED ({len(failures)} regression(s)):")
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    gated = len(baseline_setups) + len(
-        set(scaling_rows(baseline_doc)) & set(scaling_rows(current_doc))
+    gated = (
+        len(baseline_setups)
+        + len(set(scaling_rows(baseline_doc)) & set(scaling_rows(current_doc)))
+        + len(
+            set(async_sinks_rows(baseline_doc))
+            & set(async_sinks_rows(current_doc))
+        )
     )
     print(f"\nperf gate passed: {gated} entries within threshold")
     return 0

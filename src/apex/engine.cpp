@@ -512,6 +512,10 @@ Result<runtime::MetricsSnapshot> run_application_attempt(
       for (auto* op : group.operators) op->end_stream();
       send_markers(group, Mail::Kind::kEndStream, window);
       for (auto* op : group.operators) op->teardown();
+      // teardown() never throws; a failed resource close (e.g. a broker
+      // outage that outlived the sink producer's retries) surfaces here as
+      // a supervised app failure the caller can retry.
+      for (auto* op : group.operators) op->close_status().expect_ok();
       return;
     }
 
@@ -582,6 +586,9 @@ Result<runtime::MetricsSnapshot> run_application_attempt(
     for (auto* op : group.operators) op->end_stream();
     send_markers(group, Mail::Kind::kEndStream, current_window);
     for (auto* op : group.operators) op->teardown();
+    // Same contract as the input path: closes report their Status after the
+    // whole group tore down, instead of throwing mid-teardown.
+    for (auto* op : group.operators) op->close_status().expect_ok();
   };
 
   // --- deployment through YARN ----------------------------------------------

@@ -47,6 +47,12 @@ class Operator {
   /// propagates downstream — last chance to emit buffered results.
   virtual void end_stream() {}
   virtual void teardown() {}
+
+  /// Post-teardown resource disposition. teardown() must not throw (it also
+  /// runs on shutdown/unwind paths); an operator whose close failed reports
+  /// it here instead, and the engine surfaces the Status as a retryable app
+  /// failure after every operator in the group has torn down.
+  virtual Status close_status() const { return Status::ok(); }
   /// STRAM's committed-window notification (Apex's CheckpointListener):
   /// every operator in the DAG has fully processed window `window`, so
   /// state bound to it — e.g. the Kafka input's read offsets — may be made

@@ -110,7 +110,8 @@ KafkaPayloadOutput::KafkaPayloadOutput(kafka::Broker& broker, Config config)
 void KafkaPayloadOutput::setup(const OperatorContext& context) {
   producer_ = std::make_unique<kafka::Producer>(
       broker_, kafka::ProducerConfig{.acks = config_.acks,
-                                     .batch_size = config_.batch_size});
+                                     .batch_size = config_.batch_size,
+                                     .async = config_.async});
   partition_ = config_.partition;
   if (partition_ < 0) {
     const auto count = broker_.partition_count(config_.topic);
@@ -129,12 +130,23 @@ void KafkaPayloadOutput::on_tuple(const Tuple& tuple) {
 
 void KafkaPayloadOutput::end_window() {
   // Apex output operators typically flush at window boundaries; with
-  // batch_size == 1 every tuple has already gone out synchronously.
-  if (producer_) producer_->flush().expect_ok();
+  // batch_size == 1 every tuple has already gone out synchronously. The
+  // async producer instead hands the window's batches to its sender without
+  // stalling the operator thread on the ack round-trip; the drain happens
+  // at teardown. A flush failure that outlived the producer's internal
+  // retries fails this window: the supervisor converts the throw into the
+  // Status the recovery machinery retries on.
+  if (!producer_) return;
+  (config_.async ? producer_->flush_async() : producer_->flush()).expect_ok();
 }
 
 void KafkaPayloadOutput::teardown() {
-  if (producer_) producer_->close().expect_ok();
+  // teardown() must not throw — it also runs while the engine is unwinding
+  // from another failure, where a second exception would terminate the
+  // process. A close that still fails after the producer's retries (e.g. a
+  // broker-unavailability window covering shutdown) is reported through
+  // close_status() and surfaced by the engine as a retryable app failure.
+  if (producer_) close_status_ = producer_->close();
 }
 
 FunctionOperator::FunctionOperator(Fn fn)

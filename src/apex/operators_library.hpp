@@ -86,6 +86,10 @@ class KafkaPayloadOutput final : public Operator {
     /// 1 = synchronous per-tuple produce (how the generic Beam writer
     /// behaves on this runner); the native operator batches.
     std::size_t batch_size = 500;
+    /// Asynchronous pipelined producer: end_window() becomes a non-blocking
+    /// batch handoff to the background sender instead of a full drain; the
+    /// pipeline drains (with zero loss) at teardown.
+    bool async = false;
   };
 
   KafkaPayloadOutput(kafka::Broker& broker, Config config);
@@ -93,6 +97,7 @@ class KafkaPayloadOutput final : public Operator {
   void setup(const OperatorContext& context) override;
   void end_window() override;
   void teardown() override;
+  Status close_status() const override { return close_status_; }
 
   int input_port() const noexcept { return in_; }
 
@@ -104,6 +109,7 @@ class KafkaPayloadOutput final : public Operator {
   int in_;
   int partition_ = 0;  // resolved at setup() (config or auto by instance)
   std::unique_ptr<kafka::Producer> producer_;
+  Status close_status_ = Status::ok();
 };
 
 /// Element-wise transform; input port 0, output port 0.

@@ -23,6 +23,10 @@ class FusedStageExecutor final : public StageExecutor {
     for (const auto& factory : factories) members_.push_back(factory());
   }
 
+  void configure(const PipelineOptions& options) override {
+    for (auto& member : members_) member->configure(options);
+  }
+
   void start() override {
     for (auto& member : members_) member->start();
     emits_.resize(members_.size() + 1);

@@ -150,12 +150,17 @@ class KafkaSourceReader final : public SourceReader {
 class KafkaWriterDoFn final : public DoFn<ProducerRecordStub, std::int64_t> {
  public:
   KafkaWriterDoFn(kafka::Broker& broker, KafkaWriteConfig config)
-      : broker_(broker), config_(std::move(config)) {}
+      : broker_(broker), config_(std::move(config)), async_(config_.async) {}
+
+  void set_pipeline_options(const PipelineOptions& options) override {
+    async_ = config_.async || options.async_sinks;
+  }
 
   void setup() override {
     producer_ = std::make_unique<kafka::Producer>(
         broker_, kafka::ProducerConfig{.acks = config_.acks,
-                                       .batch_size = config_.batch_size});
+                                       .batch_size = config_.batch_size,
+                                       .async = async_});
   }
 
   void process(ProcessContext& context) override {
@@ -171,11 +176,21 @@ class KafkaWriterDoFn final : public DoFn<ProducerRecordStub, std::int64_t> {
 
   void finish_bundle(
       const std::function<void(std::int64_t)>& /*output*/) override {
-    if (producer_) producer_->flush().expect_ok();
+    // The sync writer flushes per bundle — one broker RTT per bundle, which
+    // on a one-element-bundle runner is the per-record penalty of §III-C3.
+    // The async writer must NOT flush here: batches ship through the
+    // background sender at batch_size/linger granularity and the pipeline
+    // drains at teardown, which is the whole point of the opt-in.
+    if (producer_ && !async_) producer_->flush().expect_ok();
   }
 
   void teardown() override {
-    if (producer_) producer_->close().expect_ok();
+    if (!producer_) return;
+    // close() drains the async pipeline (zero loss) and returns a Status;
+    // a broker outage that outlives the producer's retries surfaces as a
+    // throw the runner treats as a retryable operator failure — never as a
+    // silent drop or a crash during unwind.
+    producer_->close().expect_ok();
   }
 
   std::shared_ptr<DoFn<ProducerRecordStub, std::int64_t>> clone()
@@ -188,6 +203,7 @@ class KafkaWriterDoFn final : public DoFn<ProducerRecordStub, std::int64_t> {
  private:
   kafka::Broker& broker_;
   KafkaWriteConfig config_;
+  bool async_ = false;
   std::unique_ptr<kafka::Producer> producer_;
   std::int64_t written_ = 0;
 };

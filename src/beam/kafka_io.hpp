@@ -84,6 +84,11 @@ struct KafkaWriteConfig {
   kafka::Acks acks = kafka::Acks::kLeader;
   /// Producer-side buffering; flushes also happen at bundle boundaries.
   std::size_t batch_size = 500;
+  /// Force the async pipelined producer for this write regardless of
+  /// PipelineOptions (the options flag is the normal way in:
+  /// PipelineOptions{.async_sinks} reaches the writer through the runner's
+  /// StageExecutor::configure hook).
+  bool async = false;
 };
 
 /// Composite read transform: apply to a Pipeline.

@@ -19,10 +19,21 @@ struct PipelineOptions {
   /// Run the fusion pass before translation (--fuse-stages).
   bool fuse_stages = false;
 
-  /// Resolves the env override: STREAMSHIM_FUSE_STAGES=1 turns fusion on
-  /// for every runner that reads its options through here.
+  /// Asynchronous pipelined sinks (--async-sinks): KafkaIO writers hand
+  /// batches to a background sender instead of flushing synchronously per
+  /// bundle. OFF by default for the same reason as fusion: the paper's
+  /// writers produce synchronously, and Fig. 11–13 must keep reproducing
+  /// that behaviour; turning it on quantifies how much of the sink-path
+  /// penalty pipelining recovers.
+  bool async_sinks = false;
+
+  /// Resolves the env overrides: STREAMSHIM_FUSE_STAGES=1 turns fusion on,
+  /// STREAMSHIM_ASYNC_SINKS=1 turns async sinks on, for every runner that
+  /// reads its options through here.
   static PipelineOptions from_env() {
-    return PipelineOptions{.fuse_stages = env_flag("STREAMSHIM_FUSE_STAGES")};
+    return PipelineOptions{
+        .fuse_stages = env_flag("STREAMSHIM_FUSE_STAGES"),
+        .async_sinks = env_flag("STREAMSHIM_ASYNC_SINKS")};
   }
 };
 

@@ -66,8 +66,8 @@ class BeamApexInput final : public apex::InputOperator {
 /// Stage operator with single-element bundles.
 class BeamApexStage final : public apex::Operator {
  public:
-  explicit BeamApexStage(StageFactory factory)
-      : factory_(std::move(factory)),
+  BeamApexStage(StageFactory factory, PipelineOptions pipeline_options)
+      : factory_(std::move(factory)), pipeline_options_(pipeline_options),
         in_(register_input([this](const apex::Tuple& tuple) {
           on_tuple(tuple);
         })),
@@ -75,6 +75,9 @@ class BeamApexStage final : public apex::Operator {
 
   void setup(const apex::OperatorContext& /*context*/) override {
     executor_ = factory_();
+    // Translate pipeline-level flags (async_sinks, ...) before user code
+    // initializes in start().
+    executor_->configure(pipeline_options_);
     executor_->start();
   }
 
@@ -97,6 +100,7 @@ class BeamApexStage final : public apex::Operator {
   }
 
   StageFactory factory_;
+  PipelineOptions pipeline_options_;
   int in_;
   int out_;
   std::unique_ptr<StageExecutor> executor_;
@@ -123,8 +127,10 @@ Status translate(const BeamGraph& graph, const ApexRunnerOptions& options,
       // (BeamApexInput passes its partition index/count to the factory).
       if (node_parallelism > 1) dag.set_partitions(apex_id, node_parallelism);
     } else {
-      apex_id = dag.add_operator(node.name, [factory = node.stage] {
-        return std::make_unique<BeamApexStage>(factory);
+      apex_id = dag.add_operator(node.name,
+                                 [factory = node.stage,
+                                  pipeline_options = options.pipeline] {
+        return std::make_unique<BeamApexStage>(factory, pipeline_options);
       });
       const bool terminal = graph.consumers_of(node.id).empty();
       const bool partitionable = node.kind == TransformKind::kParDo &&

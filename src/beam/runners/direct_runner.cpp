@@ -24,6 +24,7 @@ Result<PipelineResult> DirectRunner::run(const Pipeline& pipeline) {
     elements_in[node.id] = 0;
     if (node.kind != TransformKind::kRead) {
       executors[node.id] = node.stage();
+      executors[node.id]->configure(options_.pipeline);
       executors[node.id]->start();
     }
   }

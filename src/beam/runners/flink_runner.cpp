@@ -42,11 +42,16 @@ class BeamSourceFunction final : public flink::SourceFunction {
 /// elements and finishes the stage at close().
 class BeamStageOperator final : public flink::StreamOperator {
  public:
-  BeamStageOperator(StageFactory factory, std::size_t bundle_size)
-      : factory_(std::move(factory)), bundle_size_(bundle_size) {}
+  BeamStageOperator(StageFactory factory, std::size_t bundle_size,
+                    PipelineOptions pipeline_options)
+      : factory_(std::move(factory)), bundle_size_(bundle_size),
+        pipeline_options_(pipeline_options) {}
 
   void open(const flink::RuntimeContext& /*context*/) override {
     executor_ = factory_();
+    // Translate pipeline-level flags (async_sinks, ...) before user code
+    // initializes in start().
+    executor_->configure(pipeline_options_);
     executor_->start();
   }
 
@@ -71,6 +76,7 @@ class BeamStageOperator final : public flink::StreamOperator {
  private:
   StageFactory factory_;
   std::size_t bundle_size_;
+  PipelineOptions pipeline_options_;
   std::unique_ptr<StageExecutor> executor_;
   std::size_t since_bundle_ = 0;
 };
@@ -126,8 +132,10 @@ Status translate(const BeamGraph& graph, const FlinkRunnerOptions& options,
     } else {
       flink_node.kind = flink::NodeKind::kOperator;
       flink_node.make_operator = [factory = node.stage,
-                                  bundle = options.bundle_size] {
-        return std::make_unique<BeamStageOperator>(factory, bundle);
+                                  bundle = options.bundle_size,
+                                  pipeline_options = options.pipeline] {
+        return std::make_unique<BeamStageOperator>(factory, bundle,
+                                                   pipeline_options);
       };
     }
     const int flink_id = env.add_node(std::move(flink_node));

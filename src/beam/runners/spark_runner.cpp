@@ -105,8 +105,12 @@ class UnionDStreamNode final : public spark::DStreamNode<Element> {
 class StageIterator final : public spark::Iterator<Element> {
  public:
   StageIterator(const StageFactory& factory, spark::IterPtr<Element> in,
-                std::size_t bundle_size)
+                std::size_t bundle_size,
+                const PipelineOptions& pipeline_options)
       : executor_(factory()), in_(std::move(in)), bundle_size_(bundle_size) {
+    // Translate pipeline-level flags (async_sinks, ...) before user code
+    // initializes in start().
+    executor_->configure(pipeline_options);
     executor_->start();
   }
 
@@ -223,8 +227,9 @@ Result<PipelineResult> SparkRunner::run(const Pipeline& pipeline) {
     translated.emplace(
         node.id,
         input.map_partitions<Element>(
-            [factory = node.stage,
-             counter](spark::IterPtr<Element> in) -> spark::IterPtr<Element> {
+            [factory = node.stage, counter,
+             pipeline_options = options_.pipeline](
+                spark::IterPtr<Element> in) -> spark::IterPtr<Element> {
               class CountingIter final : public spark::Iterator<Element> {
                public:
                 CountingIter(spark::IterPtr<Element> in,
@@ -246,7 +251,7 @@ Result<PipelineResult> SparkRunner::run(const Pipeline& pipeline) {
                   factory,
                   std::make_unique<CountingIter>(std::move(in),
                                                  counter.get()),
-                  /*bundle_size=*/1000);
+                  /*bundle_size=*/1000, pipeline_options);
             }));
   }
 

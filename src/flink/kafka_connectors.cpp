@@ -118,7 +118,8 @@ void KafkaStringSource::run_loop(SourceContext& context,
 void KafkaStringSink::open(const RuntimeContext& context) {
   producer_ = std::make_unique<kafka::Producer>(
       broker_, kafka::ProducerConfig{.acks = config_.acks,
-                                     .batch_size = config_.batch_size});
+                                     .batch_size = config_.batch_size,
+                                     .async = config_.async});
   partition_ = config_.partition;
   if (partition_ < 0) {
     const auto count = broker_.partition_count(config_.topic);
@@ -152,6 +153,9 @@ void KafkaStringSink::commit_epoch() {
         .expect_ok();
   }
   pending_.clear();
+  // The async producer drains its queue and in-flight window here before
+  // returning: the barrier completes only once this epoch's output is
+  // durable, whatever mode the producer runs in.
   producer_->flush().expect_ok();
 }
 
@@ -164,7 +168,11 @@ void KafkaStringSink::close() {
       !pending_.empty()) {
     commit_epoch();
   }
-  if (producer_) producer_->close().expect_ok();
+  if (producer_ == nullptr) return;
+  // Surface a close failure as a recoverable job failure, not a crash: the
+  // producer already retried retryable errors internally; what is left is a
+  // genuine broker outage the restart machinery should handle.
+  producer_->close().expect_ok();
 }
 
 SourceFactory kafka_source(kafka::Broker& broker, KafkaSourceConfig config) {

@@ -54,4 +54,10 @@ std::string render_scaling_table(const std::vector<ScalingPoint>& points);
 /// snapshot has neither.
 std::string render_partition_gauges(const runtime::MetricsSnapshot& snapshot);
 
+/// Async producer pipeline health: the kafka.producer.inflight gauge (last
+/// observed in-flight request window) and the kafka.producer.queue_wait_us
+/// histogram (time batches sat in the sender queue before dispatch). Empty
+/// string when no async producer ran.
+std::string render_producer_pipeline(const runtime::MetricsSnapshot& snapshot);
+
 }  // namespace dsps::harness

@@ -74,7 +74,8 @@ std::unique_ptr<beam::PipelineRunner> make_runner(Engine engine,
     restart.max_restarts = std::max(0, ctx.recovery.max_restarts);
     restart.backoff = recovery_backoff(ctx.recovery);
   }
-  const beam::PipelineOptions pipeline{.fuse_stages = ctx.fuse_stages};
+  const beam::PipelineOptions pipeline{.fuse_stages = ctx.fuse_stages,
+                                       .async_sinks = ctx.async_sinks};
   switch (engine) {
     case Engine::kFlink:
       return std::make_unique<beam::FlinkRunner>(

@@ -59,7 +59,8 @@ apex::Dag build_dag(workload::QueryId query, const QueryContext& ctx) {
       "kafkaOutput",
       apex::kafka_output_factory(
           *ctx.broker, apex::KafkaPayloadOutput::Config{
-                           .topic = ctx.output_topic}));
+                           .topic = ctx.output_topic,
+                           .async = ctx.async_sinks}));
 
   apex::OperatorFactory compute = query_operator_factory(query, ctx);
   if (ctx.parallelism > 1) {

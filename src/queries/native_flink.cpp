@@ -56,6 +56,7 @@ flink::StreamExecutionEnvironment build_environment(
   env.set_parallelism(ctx.parallelism);
   flink::KafkaSourceConfig source_config{.topic = ctx.input_topic};
   flink::KafkaSinkConfig sink_config{.topic = ctx.output_topic};
+  sink_config.async = ctx.async_sinks;
   // Scale-out: each parallel sink subtask writes its own output partition
   // (otherwise P subtasks serialize on a single partition-log mutex).
   if (ctx.parallelism > 1) sink_config.partition = -1;

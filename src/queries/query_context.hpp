@@ -71,6 +71,11 @@ struct QueryContext {
   /// run reproduces the paper's unfused plans and slowdown factors; the
   /// native paths ignore it.
   bool fuse_stages = false;
+  /// Asynchronous pipelined sinks: the Beam path translates it to
+  /// beam::PipelineOptions::async_sinks; the native paths switch their
+  /// Kafka sink producers to the background-sender mode. Off by default so
+  /// every default run keeps the paper's synchronous writers.
+  bool async_sinks = false;
 };
 
 }  // namespace dsps::queries

@@ -19,6 +19,10 @@ struct KafkaWriteConfig {
   int partition = 0;
   kafka::Acks acks = kafka::Acks::kLeader;
   std::size_t batch_size = 500;
+  /// Asynchronous pipelined producer: sends hand batches to a background
+  /// sender; the close() at the end of the task drains everything, so the
+  /// batch is durable by the time it commits (Spark's output-op contract).
+  bool async = false;
 };
 
 /// Registers an output op writing every batch element to Kafka.
@@ -40,7 +44,8 @@ inline void write_to_kafka(const DStream<kafka::Payload>& stream,
           // records reach the broker while upstream work is happening.
           kafka::Producer producer(
               broker, kafka::ProducerConfig{.acks = config.acks,
-                                            .batch_size = config.batch_size});
+                                            .batch_size = config.batch_size,
+                                            .async = config.async});
           while (auto value = iter->next()) {
             producer
                 .send(config.topic, partition,
@@ -48,6 +53,10 @@ inline void write_to_kafka(const DStream<kafka::Payload>& stream,
                                             .value = std::move(*value)})
                 .expect_ok();
           }
+          // Drains the async pipeline before the batch commits. A close
+          // failure (broker outage beyond the producer's retries) throws
+          // here, which Spark's per-batch retry treats as a failed batch —
+          // a retryable Status at the job level, not a crash.
           producer.close().expect_ok();
         });
   });
