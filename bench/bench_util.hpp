@@ -5,6 +5,8 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "common/strings.hpp"
@@ -29,6 +31,17 @@ inline void print_scale(const harness::HarnessConfig& config) {
       static_cast<unsigned long long>(config.records), config.runs,
       static_cast<unsigned long long>(config.seed),
       static_cast<long long>(config.broker_rtt_us));
+}
+
+/// Per-setup profiler deltas in report-renderer form; rows are all-zero
+/// (and the renderer returns "") unless the profiler was armed.
+inline std::vector<std::pair<std::string, runtime::ProfileSnapshot>>
+setup_profiles(const harness::MeasurementSet& set) {
+  std::vector<std::pair<std::string, runtime::ProfileSnapshot>> per_setup;
+  for (const auto& [label, measurements] : set.all()) {
+    per_setup.emplace_back(label, measurements.profile);
+  }
+  return per_setup;
 }
 
 /// Runs every requested setup, reporting progress on stderr.
@@ -70,6 +83,10 @@ inline int run_execution_time_figure(workload::QueryId query,
                       " (absolute seconds differ by construction — compare "
                       "the x-min ratio columns)")
                   .c_str());
+  // STREAMSHIM_PROFILE=1: where the microseconds of each setup went.
+  const std::string breakdown =
+      harness::render_profile_breakdown(setup_profiles(set));
+  if (!breakdown.empty()) std::printf("%s\n", breakdown.c_str());
   return 0;
 }
 

@@ -104,6 +104,11 @@ int main() {
     }
   }
 
+  // STREAMSHIM_PROFILE=1: append the per-setup cost breakdown.
+  const std::string breakdown =
+      harness::render_profile_breakdown(bench::setup_profiles(set));
+  if (!breakdown.empty()) std::printf("\n%s", breakdown.c_str());
+
   const char* path = "BENCH_dataplane.json";
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {

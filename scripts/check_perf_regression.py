@@ -20,6 +20,12 @@ Entries present only in the baseline "setups" section (coverage removed)
 fail; entries present only in the current file (coverage added) pass — new
 rows become gated once the baseline is regenerated and committed.
 
+The "profile" section (profile_smoke) is gated absolutely, not against the
+baseline: the armed cost-attribution profiler must stay inside its <2%
+overhead budget, and every profiled setup must attribute non-zero time
+(zero attribution means an engine's execution path fell off the unified
+operator invoker).
+
 Usage:
     check_perf_regression.py BASELINE.json CURRENT.json [--threshold 0.25]
 
@@ -69,6 +75,36 @@ def async_sinks_rows(doc):
     return rows
 
 
+def profile_failures(doc, overhead_budget_pct):
+    """Absolute gates on the profile_smoke section (when present): armed
+    profiler overhead under budget, and non-zero attribution per setup."""
+    profile = doc.get("profile")
+    if not profile:
+        print("  [skip] profile: no profile section in current run")
+        return []
+    failures = []
+    overhead = profile.get("overhead", {})
+    pct = float(overhead.get("overhead_pct", 0.0))
+    marker = "FAIL" if pct >= overhead_budget_pct else "ok"
+    print(
+        f"  [{marker}] profile: armed overhead {pct:+.2f}% "
+        f"(budget < {overhead_budget_pct:.0f}%)"
+    )
+    if pct >= overhead_budget_pct:
+        failures.append(
+            f"profile: armed profiler overhead {pct:.2f}% "
+            f">= {overhead_budget_pct:.0f}% budget"
+        )
+    for entry in profile.get("setups", []):
+        attributed_ms = float(entry.get("attributed_ms", 0.0))
+        if attributed_ms <= 0.0:
+            failures.append(
+                f"profile: {entry.get('setup', '?')} attributed no time "
+                "(execution path off the unified invoker?)"
+            )
+    return failures
+
+
 def gate(label, baseline, current, threshold, missing_fails):
     """Compares one section; returns the list of failure strings."""
     failures = []
@@ -111,6 +147,12 @@ def main():
         default=0.25,
         help="maximum allowed fractional drop in records_per_sec",
     )
+    parser.add_argument(
+        "--overhead-budget",
+        type=float,
+        default=2.0,
+        help="maximum allowed armed-profiler overhead in percent",
+    )
     args = parser.parse_args()
 
     baseline_doc = load_doc(args.baseline)
@@ -146,6 +188,9 @@ def main():
         args.threshold,
         missing_fails=False,
     )
+    # Absolute budget, not baseline-relative: the profiler must stay cheap
+    # no matter what the committed baseline says.
+    failures += profile_failures(current_doc, args.overhead_budget)
 
     if failures:
         print(f"\nperf gate FAILED ({len(failures)} regression(s)):")

@@ -10,6 +10,7 @@
 #include "common/clock.hpp"
 #include "common/queue.hpp"
 #include "runtime/fault.hpp"
+#include "runtime/invoker.hpp"
 #include "runtime/task_runtime.hpp"
 
 namespace dsps::apex {
@@ -394,6 +395,8 @@ Result<runtime::MetricsSnapshot> run_application_attempt(
             mail.target_instance = target_instances[pick];
             mail.target_port = port;
             if (serialize) {
+              runtime::ScopedStage stage(runtime::Stage::kEncode,
+                                         runtime::ScopedStage::Mode::kSampled);
               mail.bytes = codec->serialize(tuple);
               mail.serialized = true;
               mail.codec_index = codec_index;
@@ -472,6 +475,10 @@ Result<runtime::MetricsSnapshot> run_application_attempt(
 
   auto send_markers = [](GroupRuntime& group, Mail::Kind kind,
                          WindowId window) {
+    // Marker fan-out can block on full consumer mailboxes: backpressure
+    // time, attributed to the queue_wait stage.
+    runtime::ScopedStage stage(runtime::Stage::kQueueWait,
+                               runtime::ScopedStage::Mode::kAlways);
     // Ship staged data first so every consumer sees a window's tuples
     // before that window's end marker.
     for (OutputBatcher* batcher : group.batchers) batcher->flush();
@@ -486,25 +493,33 @@ Result<runtime::MetricsSnapshot> run_application_attempt(
   };
 
   auto group_body = [&](GroupRuntime& group) {
-    auto& injector = runtime::FaultInjector::instance();
     for (std::size_t i = 0; i < group.operators.size(); ++i) {
       group.operators[i]->setup(group.contexts[i]);
     }
     if (group.is_input) {
+      // The input group's unified path: per-window fault cadence on the
+      // "apex.window" site, window bodies attributed as user_fn, and the
+      // committed() fan-out (offset durability) as checkpoint time.
+      runtime::OperatorInvoker invoker("apex.window");
       WindowId window = 0;
       bool more = true;
       while (more && !aborted.load(std::memory_order_acquire)) {
-        injector.maybe_throw(runtime::FaultPoint::kOperatorThrow,
-                             "apex.window");
+        invoker.maybe_fault();
         for (auto* op : group.operators) op->begin_window(window);
         send_markers(group, Mail::Kind::kBeginWindow, window);
-        more = group.input->emit_tuples(config.window_tuple_budget);
-        for (auto* op : group.operators) op->end_window();
+        more = invoker.invoke_unfaulted([&] {
+          return group.input->emit_tuples(config.window_tuple_budget);
+        });
+        invoker.invoke_unfaulted([&] {
+          for (auto* op : group.operators) op->end_window();
+        });
         send_markers(group, Mail::Kind::kEndWindow, window);
         completed_windows[static_cast<std::size_t>(group.id)].store(
             window, std::memory_order_release);
         if (const WindowId done = min_completed_window(); done >= 0) {
-          for (auto* op : group.operators) op->committed(done);
+          invoker.checkpoint([&] {
+            for (auto* op : group.operators) op->committed(done);
+          });
         }
         windows_emitted.add();
         ++window;
@@ -516,12 +531,17 @@ Result<runtime::MetricsSnapshot> run_application_attempt(
       // outage that outlived the sink producer's retries) surfaces here as
       // a supervised app failure the caller can retry.
       for (auto* op : group.operators) op->close_status().expect_ok();
+      invoker.close();
       return;
     }
 
     // Processing group: drive lifecycle from received markers. Mails are
     // drained in batches; each batch is processed strictly in arrival order
     // so the marker protocol is unchanged.
+    // Processing groups run the same unified path under the "apex.mailbox"
+    // site: the mailbox wait is queue_wait, codec deserialization is
+    // decode, and operator deliver calls are user_fn.
+    runtime::OperatorInvoker invoker("apex.mailbox");
     int end_streams_seen = 0;
     int ends_seen = 0;
     bool in_window = false;
@@ -530,22 +550,26 @@ Result<runtime::MetricsSnapshot> run_application_attempt(
     inbox.reserve(OutputBatcher::kMailBatch * 2);
     while (end_streams_seen < group.expected_marker_producers) {
       inbox.clear();
-      const std::size_t drained =
-          group.mailbox->pop_batch(inbox, inbox.capacity());
+      const std::size_t drained = invoker.queue_wait(
+          [&] { return group.mailbox->pop_batch(inbox, inbox.capacity()); });
       if (drained == 0) break;
-      injector.maybe_throw(runtime::FaultPoint::kOperatorThrow,
-                           "apex.mailbox");
+      invoker.maybe_fault();
       for (auto& mail : inbox) {
         switch (mail.kind) {
           case Mail::Kind::kData: {
             Operator* op = instance_ops.at(mail.target_instance).first;
             if (mail.serialized) {
-              op->deliver(
-                  mail.target_port,
-                  codecs[static_cast<std::size_t>(mail.codec_index)]
-                      ->deserialize(mail.bytes));
+              Tuple tuple = invoker.decode([&] {
+                return codecs[static_cast<std::size_t>(mail.codec_index)]
+                    ->deserialize(mail.bytes);
+              });
+              invoker.invoke_unfaulted([&] {
+                op->deliver(mail.target_port, std::move(tuple));
+              });
             } else {
-              op->deliver(mail.target_port, std::move(mail.tuple));
+              invoker.invoke_unfaulted([&] {
+                op->deliver(mail.target_port, std::move(mail.tuple));
+              });
             }
             break;
           }
@@ -589,6 +613,7 @@ Result<runtime::MetricsSnapshot> run_application_attempt(
     // Same contract as the input path: closes report their Status after the
     // whole group tore down, instead of throwing mid-teardown.
     for (auto* op : group.operators) op->close_status().expect_ok();
+    invoker.close();
   };
 
   // --- deployment through YARN ----------------------------------------------

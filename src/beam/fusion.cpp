@@ -6,6 +6,7 @@
 
 #include "beam/stage.hpp"
 #include "common/status.hpp"
+#include "runtime/invoker.hpp"
 
 namespace dsps::beam {
 
@@ -18,9 +19,20 @@ namespace {
 /// member DoFns themselves do.
 class FusedStageExecutor final : public StageExecutor {
  public:
-  explicit FusedStageExecutor(const std::vector<StageFactory>& factories) {
+  FusedStageExecutor(const std::vector<StageFactory>& factories,
+                     const std::vector<std::string>& member_names) {
     members_.reserve(factories.size());
     for (const auto& factory : factories) members_.push_back(factory());
+    // Per-member attribution: a fused composite reports each original
+    // transform's cost under its own "beam.<name>" site, so fusing stages
+    // never loses breakdown resolution.
+    invokers_.reserve(members_.size());
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      const std::string name = i < member_names.size()
+                                   ? member_names[i]
+                                   : "fused#" + std::to_string(i);
+      invokers_.emplace_back("beam." + name);
+    }
   }
 
   void configure(const PipelineOptions& options) override {
@@ -35,14 +47,16 @@ class FusedStageExecutor final : public StageExecutor {
     };
     for (std::size_t i = members_.size(); i-- > 1;) {
       emits_[i] = [this, i](Element&& element) {
-        members_[i]->process(element, emits_[i + 1]);
+        invokers_[i].invoke_unfaulted(
+            [&] { members_[i]->process(element, emits_[i + 1]); });
       };
     }
   }
 
   void process(const Element& element, const Emit& emit) override {
     sink_ = &emit;
-    members_.front()->process(element, emits_[1]);
+    invokers_.front().invoke_unfaulted(
+        [&] { members_.front()->process(element, emits_[1]); });
   }
 
   void bundle_boundary(const Emit& emit) override {
@@ -64,6 +78,7 @@ class FusedStageExecutor final : public StageExecutor {
 
  private:
   std::vector<std::unique_ptr<StageExecutor>> members_;
+  std::vector<runtime::OperatorInvoker> invokers_;
   std::vector<Emit> emits_;
   const Emit* sink_ = nullptr;
 };
@@ -85,10 +100,12 @@ bool fusible(const TransformNode& node) {
          !node.key_hash && node.inputs.size() == 1;
 }
 
-StageFactory fused_stage(std::vector<StageFactory> members) {
+StageFactory fused_stage(std::vector<StageFactory> members,
+                         std::vector<std::string> member_names) {
   require(members.size() >= 2, "a fused stage needs at least two members");
-  return [members = std::move(members)] {
-    return std::make_unique<FusedStageExecutor>(members);
+  return [members = std::move(members),
+          member_names = std::move(member_names)] {
+    return std::make_unique<FusedStageExecutor>(members, member_names);
   };
 }
 
@@ -162,7 +179,7 @@ FusionResult fuse_graph(const BeamGraph& graph) {
       fused.kind = TransformKind::kParDo;
       fused.name = fused_name(member_names);
       fused.urn = urns::kFused;
-      fused.stage = fused_stage(std::move(factories));
+      fused.stage = fused_stage(std::move(factories), member_names);
       // The chain's externally visible coder is its tail's: interior
       // boundaries never re-encode.
       fused.output_coder = last.output_coder;

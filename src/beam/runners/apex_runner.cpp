@@ -10,6 +10,7 @@
 #include "common/clock.hpp"
 #include "apex/dag.hpp"
 #include "apex/engine.hpp"
+#include "runtime/invoker.hpp"
 
 namespace dsps::beam {
 
@@ -66,8 +67,10 @@ class BeamApexInput final : public apex::InputOperator {
 /// Stage operator with single-element bundles.
 class BeamApexStage final : public apex::Operator {
  public:
-  BeamApexStage(StageFactory factory, PipelineOptions pipeline_options)
+  BeamApexStage(StageFactory factory, PipelineOptions pipeline_options,
+                const std::string& site)
       : factory_(std::move(factory)), pipeline_options_(pipeline_options),
+        invoker_(site),
         in_(register_input([this](const apex::Tuple& tuple) {
           on_tuple(tuple);
         })),
@@ -82,7 +85,9 @@ class BeamApexStage final : public apex::Operator {
   }
 
   void end_stream() override {
-    if (executor_) executor_->finish(emit_fn());
+    if (executor_) {
+      invoker_.invoke_unfaulted([&] { executor_->finish(emit_fn()); });
+    }
   }
 
  private:
@@ -94,13 +99,15 @@ class BeamApexStage final : public apex::Operator {
 
   void on_tuple(const apex::Tuple& tuple) {
     const Emit emit = emit_fn();
-    executor_->process(apex::tuple_cast<Element>(tuple), emit);
+    invoker_.invoke_unfaulted(
+        [&] { executor_->process(apex::tuple_cast<Element>(tuple), emit); });
     // One-element bundles: buffering DoFns (the Kafka writer) flush here.
     executor_->bundle_boundary(emit);
   }
 
   StageFactory factory_;
   PipelineOptions pipeline_options_;
+  runtime::OperatorInvoker invoker_;
   int in_;
   int out_;
   std::unique_ptr<StageExecutor> executor_;
@@ -129,8 +136,10 @@ Status translate(const BeamGraph& graph, const ApexRunnerOptions& options,
     } else {
       apex_id = dag.add_operator(node.name,
                                  [factory = node.stage,
-                                  pipeline_options = options.pipeline] {
-        return std::make_unique<BeamApexStage>(factory, pipeline_options);
+                                  pipeline_options = options.pipeline,
+                                  site = "beam." + node.name] {
+        return std::make_unique<BeamApexStage>(factory, pipeline_options,
+                                               site);
       });
       const bool terminal = graph.consumers_of(node.id).empty();
       const bool partitionable = node.kind == TransformKind::kParDo &&

@@ -8,6 +8,7 @@
 
 #include "beam/fusion.hpp"
 #include "common/clock.hpp"
+#include "runtime/invoker.hpp"
 #include "spark/streaming_context.hpp"
 
 namespace dsps::beam {
@@ -106,8 +107,12 @@ class StageIterator final : public spark::Iterator<Element> {
  public:
   StageIterator(const StageFactory& factory, spark::IterPtr<Element> in,
                 std::size_t bundle_size,
-                const PipelineOptions& pipeline_options)
-      : executor_(factory()), in_(std::move(in)), bundle_size_(bundle_size) {
+                const PipelineOptions& pipeline_options,
+                const std::string& site)
+      : executor_(factory()),
+        invoker_(site),
+        in_(std::move(in)),
+        bundle_size_(bundle_size) {
     // Translate pipeline-level flags (async_sinks, ...) before user code
     // initializes in start().
     executor_->configure(pipeline_options);
@@ -122,7 +127,7 @@ class StageIterator final : public spark::Iterator<Element> {
         buffer_.push_back(std::move(produced));
       };
       if (auto element = in_->next()) {
-        executor_->process(*element, emit);
+        invoker_.invoke_unfaulted([&] { executor_->process(*element, emit); });
         if (++since_bundle_ >= bundle_size_) {
           since_bundle_ = 0;
           executor_->bundle_boundary(emit);
@@ -130,7 +135,7 @@ class StageIterator final : public spark::Iterator<Element> {
         continue;
       }
       if (!finished_) {
-        executor_->finish(emit);
+        invoker_.invoke_unfaulted([&] { executor_->finish(emit); });
         finished_ = true;
         continue;
       }
@@ -141,6 +146,7 @@ class StageIterator final : public spark::Iterator<Element> {
 
  private:
   std::unique_ptr<StageExecutor> executor_;
+  runtime::OperatorInvoker invoker_;
   spark::IterPtr<Element> in_;
   std::size_t bundle_size_;
   std::vector<Element> buffer_;
@@ -227,7 +233,7 @@ Result<PipelineResult> SparkRunner::run(const Pipeline& pipeline) {
     translated.emplace(
         node.id,
         input.map_partitions<Element>(
-            [factory = node.stage, counter,
+            [factory = node.stage, counter, site = "beam." + node.name,
              pipeline_options = options_.pipeline](
                 spark::IterPtr<Element> in) -> spark::IterPtr<Element> {
               class CountingIter final : public spark::Iterator<Element> {
@@ -251,7 +257,7 @@ Result<PipelineResult> SparkRunner::run(const Pipeline& pipeline) {
                   factory,
                   std::make_unique<CountingIter>(std::move(in),
                                                  counter.get()),
-                  /*bundle_size=*/1000, pipeline_options);
+                  /*bundle_size=*/1000, pipeline_options, site);
             }));
   }
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "runtime/fault.hpp"
+#include "runtime/invoker.hpp"
 #include "runtime/metrics.hpp"
 
 namespace dsps::flink {
@@ -51,7 +52,7 @@ void KafkaStringSource::run(SourceContext& context) {
 
 void KafkaStringSource::run_loop(SourceContext& context,
                                  std::size_t& uncommitted) {
-  auto& injector = runtime::FaultInjector::instance();
+  runtime::OperatorInvoker invoker(fault_site_);
   int polls_since_commit = 0;
   int polls_since_barrier = 0;
   kafka::FetchBatch batch;
@@ -60,9 +61,9 @@ void KafkaStringSource::run_loop(SourceContext& context,
     // A fault here models an operator throw anywhere in this chain: the
     // records of the open epoch have not been checkpointed yet, so the
     // restart replays them from the last committed offset.
-    injector.maybe_throw(runtime::FaultPoint::kOperatorThrow, fault_site_);
-    const kafka::FetchState state =
-        consumer_->poll_batch(config_.poll_timeout_ms, batch);
+    invoker.maybe_fault();
+    const kafka::FetchState state = invoker.broker_rtt(
+        [&] { return consumer_->poll_batch(config_.poll_timeout_ms, batch); });
     broker_closed = state == kafka::FetchState::kClosed;
     for (auto& record : batch.records) {
       // Zero-copy hand-off: the Payload shares the broker's storage all the
@@ -77,14 +78,16 @@ void KafkaStringSource::run_loop(SourceContext& context,
       // Epoch boundary: flush this chain's sinks, then commit offsets.
       // Order matters — output must be durable before the input positions
       // that produced it are, or a crash in between loses records.
-      config_.checkpoint->barrier(subtask_index_);
-      consumer_->commit();
+      invoker.checkpoint([&] {
+        config_.checkpoint->barrier(subtask_index_);
+        consumer_->commit();
+      });
       uncommitted = 0;
       polls_since_barrier = 0;
     } else if (config_.resume_from_group &&
                ++polls_since_commit >= config_.commit_every_polls) {
       if (config_.checkpoint == nullptr) {
-        consumer_->commit();
+        invoker.checkpoint([&] { consumer_->commit(); });
         uncommitted = 0;
       }
       polls_since_commit = 0;
@@ -102,10 +105,12 @@ void KafkaStringSource::run_loop(SourceContext& context,
     }
     if (done) {
       if (config_.checkpoint != nullptr) {
-        config_.checkpoint->barrier(subtask_index_);
-        consumer_->commit();
+        invoker.checkpoint([&] {
+          config_.checkpoint->barrier(subtask_index_);
+          consumer_->commit();
+        });
       } else if (config_.resume_from_group) {
-        consumer_->commit();
+        invoker.checkpoint([&] { consumer_->commit(); });
       }
       uncommitted = 0;
       return;

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/clock.hpp"
+#include "runtime/invoker.hpp"
+#include "runtime/policy.hpp"
 #include "runtime/task_runtime.hpp"
 
 namespace dsps::flink {
@@ -52,8 +54,14 @@ class Router {
     const std::int64_t now_us = steady_clock_us();
     if (stage.empty()) staged_at_us_[index] = now_us;
     stage.push_back(Envelope{element, false});
+    // The buffer timeout is the PolicyEngine's Flink knob: adaptive runs
+    // shrink it when downstream starves on queue_wait and grow it when the
+    // pipeline is compute-bound. Disabled (the default), this returns the
+    // paper-faithful constant untouched.
     if (stage.size() >= kBatchSize ||
-        now_us - staged_at_us_[index] >= kFlushTimeoutUs) {
+        now_us - staged_at_us_[index] >=
+            runtime::PolicyEngine::instance().flink_buffer_timeout_us(
+                kFlushTimeoutUs)) {
       flush_channel(index);
     }
   }
@@ -88,6 +96,9 @@ class Router {
     if (stage.empty()) return;
     runtime::FaultInjector::instance().maybe_stall(
         runtime::FaultPoint::kQueueStall, "flink.channel");
+    // A full channel blocks here: backpressure wait, not operator work.
+    runtime::ScopedStage wait(runtime::Stage::kQueueWait,
+                              runtime::ScopedStage::Mode::kAlways);
     channels_[index]->push_batch(std::move(stage));
     stage.clear();
     stage.reserve(kBatchSize);
@@ -119,17 +130,22 @@ class ChainTail final : public Collector {
   runtime::Counter records_out_;
 };
 
-/// Middle link: hands elements to the next operator in the chain.
+/// Middle link: hands elements to the next operator in the chain, through
+/// the unified invoker so every chained operator reports its own user_fn
+/// share (nested links record self-time, so a chain decomposes exactly).
 class ChainLink final : public Collector {
  public:
-  ChainLink(StreamOperator* op, Collector* next) : op_(op), next_(next) {}
+  ChainLink(StreamOperator* op, Collector* next, std::string site)
+      : op_(op), next_(next), invoker_(std::move(site)) {}
   void collect(Elem element) override {
-    op_->process(std::move(element), *next_);
+    invoker_.invoke_unfaulted(
+        [&] { op_->process(std::move(element), *next_); });
   }
 
  private:
   StreamOperator* op_;
   Collector* next_;
+  runtime::OperatorInvoker invoker_;
 };
 
 /// One subtask: instantiated chain + IO wiring.
@@ -140,6 +156,7 @@ struct Task {
   // Chain bodies (head first). Empty for a pure source vertex whose chain
   // is only the source function.
   std::vector<std::unique_ptr<StreamOperator>> operators;
+  std::vector<std::string> operator_names;  // attribution labels, head first
   std::unique_ptr<SourceFunction> source;  // head of a source vertex
   std::shared_ptr<Channel> input;          // null for source vertices
   int eos_expected = 0;                    // producers feeding `input`
@@ -352,6 +369,7 @@ Result<std::shared_ptr<JobHandle::State>> launch(const StreamGraph& graph,
            ++i) {
         const StreamNode& node = graph.node(vertex.chained_nodes[i]);
         task->operators.push_back(node.make_operator());
+        task->operator_names.push_back("flink." + node.name);
       }
 
       // Output routers for every out-edge of this vertex.
@@ -369,8 +387,8 @@ Result<std::shared_ptr<JobHandle::State>> launch(const StreamGraph& graph,
       Collector* next = tail.get();
       task->collectors.push_back(std::move(tail));
       for (std::size_t i = task->operators.size(); i-- > 0;) {
-        auto link =
-            std::make_unique<ChainLink>(task->operators[i].get(), next);
+        auto link = std::make_unique<ChainLink>(task->operators[i].get(), next,
+                                                task->operator_names[i]);
         next = link.get();
         task->collectors.push_back(std::move(link));
       }
@@ -420,23 +438,29 @@ Result<std::shared_ptr<JobHandle::State>> launch(const StreamGraph& graph,
         for (auto& router : task->routers) router->send_eos();
       };
 
+      // The unified task-loop path: one invoker per subtask carries the
+      // vertex's fault site (unchanged cadence: one probe per batch) and
+      // brackets the input wait; chained operator bodies attribute through
+      // their ChainLink invokers.
+      runtime::OperatorInvoker invoker(task->name);
       if (task->source != nullptr) {
         task->source->open(context);
         BoundedSourceContext source_context(*task->entry, state->cancelled,
                                             records_in);
         task->source->run(source_context);
         close_chain();
+        invoker.close();
         return;
       }
 
       int eos_seen = 0;
       std::vector<Envelope> batch;
       batch.reserve(Router::kBatchSize);
-      auto& injector = runtime::FaultInjector::instance();
       while (eos_seen < task->eos_expected) {
         batch.clear();
-        injector.maybe_throw(runtime::FaultPoint::kOperatorThrow, task->name);
-        const std::size_t n = task->input->pop_batch(batch, batch.capacity());
+        invoker.maybe_fault();
+        const std::size_t n = invoker.queue_wait(
+            [&] { return task->input->pop_batch(batch, batch.capacity()); });
         if (n == 0) break;  // channel closed defensively
         std::uint64_t data_records = 0;
         for (auto& envelope : batch) {
@@ -450,6 +474,7 @@ Result<std::shared_ptr<JobHandle::State>> launch(const StreamGraph& graph,
         if (data_records > 0) records_in.add(data_records);
       }
       close_chain();
+      invoker.close();
     });
   }
   return state;

@@ -1,6 +1,7 @@
 #include "harness/benchmark.hpp"
 
 #include "common/clock.hpp"
+#include "runtime/policy.hpp"
 #include "workload/aol_generator.hpp"
 #include "workload/data_sender.hpp"
 
@@ -23,6 +24,13 @@ std::vector<double> SetupMeasurements::execution_times() const {
 BenchmarkHarness::BenchmarkHarness(HarnessConfig config)
     : config_(config), noise_(config.noise) {
   broker_.set_rtt_us(config_.broker_rtt_us);
+  // Adaptive mode implies profiling (the policy engine consumes live
+  // snapshots); plain profiling arms without the policy hook.
+  if (config_.adaptive) {
+    runtime::PolicyEngine::instance().enable();
+  } else if (config_.profile && !runtime::Profiler::instance().armed()) {
+    runtime::Profiler::instance().arm();
+  }
 }
 
 std::uint64_t BenchmarkHarness::expected_grep_matches() const {
@@ -101,11 +109,17 @@ Result<RunMeasurement> BenchmarkHarness::run_once(const SetupKey& key) {
 Result<SetupMeasurements> BenchmarkHarness::run_setup(const SetupKey& key) {
   SetupMeasurements measurements;
   measurements.key = key;
+  // Snapshot deltas bracket the setup so its profile excludes previous
+  // setups' costs (cheap no-op maps when the profiler is disarmed).
+  const runtime::ProfileSnapshot before =
+      runtime::Profiler::instance().snapshot();
   for (int r = 0; r < config_.runs; ++r) {
     auto run = run_once(key);
     if (!run.is_ok()) return run.status();
     measurements.runs.push_back(run.value());
   }
+  measurements.profile =
+      runtime::Profiler::instance().snapshot().since(before);
   return measurements;
 }
 

@@ -18,6 +18,7 @@
 #include "kafka/broker.hpp"
 #include "queries/query_factory.hpp"
 #include "harness/result_calculator.hpp"
+#include "runtime/profiler.hpp"
 
 namespace dsps::harness {
 
@@ -41,6 +42,9 @@ struct RunMeasurement {
 struct SetupMeasurements {
   SetupKey key;
   std::vector<RunMeasurement> runs;
+  /// Cost-attribution delta accumulated over this setup's runs. All zeros
+  /// unless the profiler is armed (HarnessConfig::profile).
+  runtime::ProfileSnapshot profile;
 
   std::vector<double> execution_times() const;
 };
@@ -69,6 +73,14 @@ struct HarnessConfig {
   /// Default setup parallelism for binaries that take it from the env
   /// (STREAMSHIM_PARALLELISM / --parallelism). 1 = paper-faithful plans.
   int parallelism = 1;
+  /// Arm the cost-attribution profiler for the harness run
+  /// (STREAMSHIM_PROFILE). Default off: disarmed scopes cost one relaxed
+  /// atomic load, so paper-faithful numbers are untouched.
+  bool profile = false;
+  /// Enable the adaptive policy engine (STREAMSHIM_ADAPTIVE): auto-tunes
+  /// the Spark micro-batch interval and the Flink router flush timeout from
+  /// live cost shares. Default off — Figs. 11-13 measure fixed knobs.
+  bool adaptive = false;
 
   static HarnessConfig from_env() {
     const BenchScale scale = resolve_bench_scale();
@@ -78,6 +90,8 @@ struct HarnessConfig {
     config.seed = scale.seed;
     config.fuse_stages = env_flag("STREAMSHIM_FUSE_STAGES");
     config.async_sinks = env_flag("STREAMSHIM_ASYNC_SINKS");
+    config.profile = env_flag("STREAMSHIM_PROFILE");
+    config.adaptive = env_flag("STREAMSHIM_ADAPTIVE");
     config.parallelism = static_cast<int>(
         env_i64("STREAMSHIM_PARALLELISM", config.parallelism));
     // By default the input fans out with the requested parallelism (one

@@ -178,7 +178,12 @@ std::string render_partition_gauges(const runtime::MetricsSnapshot& snapshot) {
   std::vector<std::pair<std::string, double>> lag;
   std::vector<std::pair<std::string, double>> depth;
   for (const auto& [name, value] : snapshot.gauges) {
-    if (name.rfind("kafka.lag.", 0) == 0) {
+    // Canonical spelling first; accept the legacy one so snapshots captured
+    // before the rename still render.
+    if (name.rfind("kafka.consumer.lag.", 0) == 0) {
+      lag.emplace_back(
+          name.substr(std::string("kafka.consumer.lag.").size()), value);
+    } else if (name.rfind("kafka.lag.", 0) == 0) {
       lag.emplace_back(name.substr(std::string("kafka.lag.").size()), value);
     } else if (name.find(".channel.") != std::string::npos &&
                name.size() > 11 &&
@@ -199,6 +204,73 @@ std::string render_partition_gauges(const runtime::MetricsSnapshot& snapshot) {
     out += "  channel peak queue depth (vertex.subtask -> records)\n";
     for (const auto& [name, value] : depth) {
       out += "    " + name + " = " + format_double(value, 0) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string render_profile_breakdown(
+    const std::vector<std::pair<std::string, runtime::ProfileSnapshot>>&
+        per_setup) {
+  bool any = false;
+  std::size_t label_width = std::string("setup").size();
+  for (const auto& [label, profile] : per_setup) {
+    any = any || profile.attributed_us() > 0;
+    label_width = std::max(label_width, label.size());
+  }
+  if (!any) return "";
+
+  using runtime::Stage;
+  constexpr Stage kOrder[] = {Stage::kQueueWait, Stage::kDecode,
+                              Stage::kUserFn,    Stage::kEncode,
+                              Stage::kBrokerRtt, Stage::kCheckpoint,
+                              Stage::kOther};
+  std::string out =
+      "cost breakdown (share of attributed time per stage; profiler "
+      "stride-sampled)\n";
+  out += "  " + pad_right("setup", label_width) + pad_left("attrib_ms", 11);
+  for (const Stage stage : kOrder) {
+    out += pad_left(std::string(runtime::stage_name(stage)), 11);
+  }
+  out += "\n";
+  for (const auto& [label, profile] : per_setup) {
+    const std::uint64_t attributed = profile.attributed_us();
+    out += "  " + pad_right(label, label_width) +
+           pad_left(format_double(static_cast<double>(attributed) / 1e3, 1),
+                    11);
+    for (const Stage stage : kOrder) {
+      out += attributed == 0
+                 ? pad_left("-", 11)
+                 : pad_left(format_double(profile.share(stage) * 100.0, 1) +
+                                "%",
+                            11);
+    }
+    out += "\n";
+  }
+
+  // The heaviest instrumented sites across all setups, for "which operator
+  // is the hot one" at a glance.
+  std::map<std::string, runtime::StageCost> operators;
+  for (const auto& [label, profile] : per_setup) {
+    for (const auto& [name, cost] : profile.operators) {
+      operators[name] += cost;
+    }
+  }
+  std::vector<std::pair<std::string, runtime::StageCost>> ranked(
+      operators.begin(), operators.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second.total_us > b.second.total_us;
+  });
+  constexpr std::size_t kTopOperators = 8;
+  if (!ranked.empty()) {
+    out += "  top operators by attributed time:\n";
+    for (std::size_t i = 0; i < ranked.size() && i < kTopOperators; ++i) {
+      if (ranked[i].second.total_us == 0) break;
+      out += "    " + ranked[i].first + " = " +
+             format_double(
+                 static_cast<double>(ranked[i].second.total_us) / 1e3, 1) +
+             "ms (" + std::to_string(ranked[i].second.samples) +
+             " samples)\n";
     }
   }
   return out;

@@ -3,9 +3,12 @@
 
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "harness/figures.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/profiler.hpp"
 
 namespace dsps::harness {
 
@@ -49,10 +52,19 @@ struct ScalingPoint {
 /// Scaling-efficiency table, one block per setup+query, one row per P.
 std::string render_scaling_table(const std::vector<ScalingPoint>& points);
 
-/// Per-partition data-plane gauges: consumer lag (kafka.lag.*) and channel
-/// queue depths (*.channel.*.depth/.peak_depth). Empty string when the
-/// snapshot has neither.
+/// Per-partition data-plane gauges: consumer lag (kafka.consumer.lag.*,
+/// with the legacy kafka.lag.* spelling still accepted) and channel queue
+/// depths (*.channel.*.depth/.peak_depth). Empty string when the snapshot
+/// has neither.
 std::string render_partition_gauges(const runtime::MetricsSnapshot& snapshot);
+
+/// Per-setup cost breakdown from the always-on profiler: one row per setup,
+/// one column per stage (share of attributed time), plus the heaviest
+/// instrumented operators. Empty string when no setup attributed any time (the
+/// profiler was disarmed).
+std::string render_profile_breakdown(
+    const std::vector<std::pair<std::string, runtime::ProfileSnapshot>>&
+        per_setup);
 
 /// Async producer pipeline health: the kafka.producer.inflight gauge (last
 /// observed in-flight request window) and the kafka.producer.queue_wait_us

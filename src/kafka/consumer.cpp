@@ -4,8 +4,20 @@
 
 #include "runtime/fault.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/profiler.hpp"
 
 namespace dsps::kafka {
+
+namespace {
+
+/// Attribution id for fetch-side stages (registered once, process-wide).
+std::uint32_t fetch_op() {
+  static const std::uint32_t op =
+      runtime::Profiler::instance().operator_id("kafka.fetch");
+  return op;
+}
+
+}  // namespace
 
 Consumer::Consumer(Broker& broker, ConsumerConfig config)
     : broker_(broker), config_(std::move(config)) {}
@@ -167,17 +179,23 @@ FetchState Consumer::poll_batch(std::int64_t timeout_ms, FetchBatch& out) {
       runtime::FaultPoint::kSlowConsumer, assignments_.front().tp.topic);
 
   // Non-blocking round-robin: first assignment with data wins the batch.
-  for (std::size_t i = 0; i < assignments_.size(); ++i) {
-    auto& assignment = assignments_[next_partition_];
-    next_partition_ = (next_partition_ + 1) % assignments_.size();
-    const auto fetched_count =
-        broker_.fetch(assignment.tp, assignment.position,
-                      config_.max_poll_records, out.records);
-    if (fetched_count.is_ok() && fetched_count.value() > 0) {
-      out.tp = assignment.tp;
-      out.base_offset = assignment.position;
-      assignment.position += static_cast<std::int64_t>(fetched_count.value());
-      return broker_.shutting_down() ? FetchState::kClosed : FetchState::kOk;
+  // Fetches that return data are broker round-trips.
+  {
+    runtime::ScopedStage rtt(runtime::Stage::kBrokerRtt,
+                             runtime::ScopedStage::Mode::kAlways, fetch_op());
+    for (std::size_t i = 0; i < assignments_.size(); ++i) {
+      auto& assignment = assignments_[next_partition_];
+      next_partition_ = (next_partition_ + 1) % assignments_.size();
+      const auto fetched_count =
+          broker_.fetch(assignment.tp, assignment.position,
+                        config_.max_poll_records, out.records);
+      if (fetched_count.is_ok() && fetched_count.value() > 0) {
+        out.tp = assignment.tp;
+        out.base_offset = assignment.position;
+        assignment.position +=
+            static_cast<std::int64_t>(fetched_count.value());
+        return broker_.shutting_down() ? FetchState::kClosed : FetchState::kOk;
+      }
     }
   }
   // Mid-shutdown a consumer never waits: nothing was immediately fetchable,
@@ -185,9 +203,12 @@ FetchState Consumer::poll_batch(std::int64_t timeout_ms, FetchBatch& out) {
   if (broker_.shutting_down()) return FetchState::kClosed;
   if (timeout_ms <= 0) return FetchState::kOk;
 
-  // Nothing available: block on the first assignment for the timeout.
+  // Nothing available: block on the first assignment for the timeout —
+  // idle-input time, attributed as queue_wait, not broker cost.
   // Broker shutdown interrupts the wait via PartitionLog::close().
   auto& assignment = assignments_.front();
+  runtime::ScopedStage wait(runtime::Stage::kQueueWait,
+                            runtime::ScopedStage::Mode::kAlways, fetch_op());
   const auto fetched_count = broker_.fetch_blocking(
       assignment.tp, assignment.position, config_.max_poll_records, timeout_ms,
       out.records);
@@ -216,11 +237,13 @@ void Consumer::commit() {
     broker_.commit_offset(config_.group_id, assignment.tp,
                           assignment.position);
     // Per-partition consumer-lag gauge: records appended beyond the offset
-    // just committed. The scaling/elasticity work keys off these.
+    // just committed. The scaling/elasticity work keys off these. Published
+    // under the canonical engine.component.metric name; snapshot lookups of
+    // the legacy "kafka.lag." spelling resolve through the rename shim.
     const auto end = broker_.end_offset(assignment.tp);
     if (end.is_ok()) {
       registry
-          .gauge("kafka.lag." + config_.group_id + "." +
+          .gauge("kafka.consumer.lag." + config_.group_id + "." +
                  assignment.tp.topic + ".p" +
                  std::to_string(assignment.tp.partition))
           .set(static_cast<double>(end.value() - assignment.position));

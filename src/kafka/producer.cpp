@@ -6,10 +6,18 @@
 
 #include "common/bytes.hpp"
 #include "common/clock.hpp"
+#include "runtime/profiler.hpp"
 
 namespace dsps::kafka {
 
 namespace {
+
+/// Attribution id for produce-side stages (registered once, process-wide).
+std::uint32_t produce_op() {
+  static const std::uint32_t op =
+      runtime::Profiler::instance().operator_id("kafka.produce");
+  return op;
+}
 
 /// Waits until `until_us` on the steady clock. Short waits spin: sleep
 /// granularity on a loaded box is tens of microseconds, which would distort
@@ -167,6 +175,10 @@ Status Producer::ship_buffer(Buffer& buffer) {
 
 Status Producer::flush_buffer(Buffer& buffer) {
   if (buffer.records.empty()) return Status::ok();
+  // Sync produce path: append (with retries) plus the modelled ack
+  // round-trip are one broker RTT from the caller's point of view.
+  runtime::ScopedStage rtt(runtime::Stage::kBrokerRtt,
+                           runtime::ScopedStage::Mode::kAlways, produce_op());
   const bool wait_replication = config_.acks == Acks::kAll;
   // The buffer is cleared only after an attempt the broker accepted (or a
   // terminal error): a retryable failure must keep the records, or every
@@ -212,6 +224,11 @@ Status Producer::enqueue_batch(Buffer& buffer) {
     std::unique_lock lock(async_mutex_);
     if (pending_.size() >= config_.max_pending_batches) {
       backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
+      // Producer backpressure: the caller stalls on the bounded pending
+      // queue until the sender drains it.
+      runtime::ScopedStage wait(runtime::Stage::kQueueWait,
+                                runtime::ScopedStage::Mode::kAlways,
+                                produce_op());
       wake_callers_.wait(lock, [this] {
         return pending_.size() < config_.max_pending_batches || stop_sender_;
       });
@@ -294,13 +311,20 @@ void Producer::dispatch_run(std::vector<AsyncBatch>& run) {
   // per-partition ordering across failures.
   runtime::Backoff backoff(config_.retry_backoff);
   Result<std::size_t> result = Status::internal("no append attempted");
-  for (int attempt = 0;; ++attempt) {
-    result = broker_.append_many(request, wait_replication);
-    const bool retryable =
-        result.status().code() == StatusCode::kUnavailable;
-    if (result.is_ok() || !retryable || attempt >= config_.max_retries) break;
-    send_retries_.fetch_add(1, std::memory_order_relaxed);
-    backoff.sleep();
+  {
+    runtime::ScopedStage rtt(runtime::Stage::kBrokerRtt,
+                             runtime::ScopedStage::Mode::kAlways,
+                             produce_op());
+    for (int attempt = 0;; ++attempt) {
+      result = broker_.append_many(request, wait_replication);
+      const bool retryable =
+          result.status().code() == StatusCode::kUnavailable;
+      if (result.is_ok() || !retryable || attempt >= config_.max_retries) {
+        break;
+      }
+      send_retries_.fetch_add(1, std::memory_order_relaxed);
+      backoff.sleep();
+    }
   }
   async_batches_.fetch_add(run.size(), std::memory_order_relaxed);
 

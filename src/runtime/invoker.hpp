@@ -1,0 +1,111 @@
+// The one operator-invoke path shared by every engine (DESIGN.md §5g).
+//
+// Before this existed each engine drove user code through its own ad-hoc
+// inner loop — Flink chained Collectors, Spark pulled partition iterators,
+// Apex dispatched mailbox Mail, each Beam runner wrapped ParDos its own way
+// — so per-record cost was unattributable below "throughput moved" and
+// fault-injection points were sprinkled by hand. An OperatorInvoker is one
+// operator's execution façade: it owns the operator's site label (the same
+// string the FaultInjector matches on), its profiler attribution id, and
+// the stage-bracketing helpers the loops wrap their steps in. Porting a
+// loop means routing every user-function call through invoke() and every
+// decode/encode/wait step through the matching helper; the engine keeps its
+// scheduling structure, but execution and attribution become uniform.
+//
+// All helpers are near-free when the profiler is disarmed and the fault
+// injector is disarmed (two relaxed atomic loads around the user code).
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "runtime/fault.hpp"
+#include "runtime/profiler.hpp"
+
+namespace dsps::runtime {
+
+class OperatorInvoker {
+ public:
+  OperatorInvoker() = default;
+
+  /// `site` doubles as the fault-injection site label and the per-operator
+  /// attribution name in profile snapshots, so chaos schedules written
+  /// against the old inline maybe_throw calls keep matching.
+  explicit OperatorInvoker(std::string site,
+                           FaultPoint fault_point = FaultPoint::kOperatorThrow)
+      : site_(std::move(site)),
+        fault_point_(fault_point),
+        op_(Profiler::instance().operator_id(site_)) {}
+
+  const std::string& site() const noexcept { return site_; }
+  std::uint32_t operator_id() const noexcept { return op_; }
+
+  /// The operator body: fault-injection point + user_fn attribution.
+  template <typename Fn>
+  decltype(auto) invoke(Fn&& fn) {
+    FaultInjector::instance().maybe_throw(fault_point_, site_);
+    ScopedStage stage(Stage::kUserFn, ScopedStage::Mode::kSampled, op_);
+    return std::forward<Fn>(fn)();
+  }
+
+  /// The bare fault-injection point, for loops whose chaos schedules were
+  /// written against a per-batch cadence (one probe per batch, not per
+  /// record) — the timing helpers below stay per-record.
+  void maybe_fault() {
+    FaultInjector::instance().maybe_throw(fault_point_, site_);
+  }
+
+  /// The operator body without a fault point (sites the chaos matrix never
+  /// targets, e.g. driver-side result folds).
+  template <typename Fn>
+  decltype(auto) invoke_unfaulted(Fn&& fn) {
+    ScopedStage stage(Stage::kUserFn, ScopedStage::Mode::kSampled, op_);
+    return std::forward<Fn>(fn)();
+  }
+
+  /// Wire bytes -> records (coders, codecs, input parsing). Per-record.
+  template <typename Fn>
+  decltype(auto) decode(Fn&& fn) {
+    ScopedStage stage(Stage::kDecode, ScopedStage::Mode::kSampled, op_);
+    return std::forward<Fn>(fn)();
+  }
+
+  /// Records -> wire bytes (coders, codecs, sink serialization). Per-record.
+  template <typename Fn>
+  decltype(auto) encode(Fn&& fn) {
+    ScopedStage stage(Stage::kEncode, ScopedStage::Mode::kSampled, op_);
+    return std::forward<Fn>(fn)();
+  }
+
+  /// Blocked on a channel/mailbox/pending-queue. Per-batch: always timed.
+  template <typename Fn>
+  decltype(auto) queue_wait(Fn&& fn) {
+    ScopedStage stage(Stage::kQueueWait, ScopedStage::Mode::kAlways, op_);
+    return std::forward<Fn>(fn)();
+  }
+
+  /// Simulated broker round-trip (produce flush / fetch). Per-batch.
+  template <typename Fn>
+  decltype(auto) broker_rtt(Fn&& fn) {
+    ScopedStage stage(Stage::kBrokerRtt, ScopedStage::Mode::kAlways, op_);
+    return std::forward<Fn>(fn)();
+  }
+
+  /// Barrier handling, window/offset commit. Per-batch.
+  template <typename Fn>
+  decltype(auto) checkpoint(Fn&& fn) {
+    ScopedStage stage(Stage::kCheckpoint, ScopedStage::Mode::kAlways, op_);
+    return std::forward<Fn>(fn)();
+  }
+
+  /// Task teardown: publish the calling thread's profiler slab so snapshot
+  /// deltas taken after a job joins see every worker's costs.
+  void close() noexcept { Profiler::instance().flush_this_thread(); }
+
+ private:
+  std::string site_;
+  FaultPoint fault_point_ = FaultPoint::kOperatorThrow;
+  std::uint32_t op_ = Profiler::kNoOperator;
+};
+
+}  // namespace dsps::runtime

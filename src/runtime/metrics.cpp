@@ -20,16 +20,28 @@ std::size_t shard_for_this_thread() noexcept {
 
 namespace {
 
+/// HDR indexing: values below 2*kHdrSubBuckets map one-to-one (exact
+/// buckets); above that, the top kHdrSubBucketBits+1 significant bits pick
+/// the bucket, so bucket width grows with magnitude at a fixed relative
+/// resolution.
 std::size_t bucket_for(std::uint64_t value_us) noexcept {
-  const std::size_t bits = static_cast<std::size_t>(std::bit_width(value_us));
-  return bits < kHistogramBuckets ? bits : kHistogramBuckets - 1;
+  std::size_t shift = 0;
+  if (value_us >= kHdrSubBuckets) {
+    shift = static_cast<std::size_t>(std::bit_width(value_us)) -
+            kHdrSubBucketBits - 1;
+  }
+  const std::size_t index =
+      shift * kHdrSubBuckets + static_cast<std::size_t>(value_us >> shift);
+  return index < kHistogramBuckets ? index : kHistogramBuckets - 1;
 }
 
-/// Upper bound (us) of bucket i: 2^i - 1 (bucket 0 holds exactly 0).
+/// Upper bound (us) of bucket i (inclusive). Buckets below 2*kHdrSubBuckets
+/// hold exactly one value each.
 std::uint64_t bucket_upper_us(std::size_t bucket) noexcept {
-  if (bucket == 0) return 0;
-  if (bucket >= 64) return ~std::uint64_t{0};
-  return (std::uint64_t{1} << bucket) - 1;
+  const std::size_t shift =
+      bucket < 2 * kHdrSubBuckets ? 0 : bucket / kHdrSubBuckets - 1;
+  const std::uint64_t base = bucket - shift * kHdrSubBuckets;
+  return ((base + 1) << shift) - 1;
 }
 
 }  // namespace
@@ -38,10 +50,27 @@ void HistogramCell::record(std::uint64_t value_us) noexcept {
   const std::size_t shard = shard_for_this_thread();
   count_shards[shard].value.fetch_add(1, std::memory_order_relaxed);
   sum_shards[shard].value.fetch_add(value_us, std::memory_order_relaxed);
-  buckets[bucket_for(value_us)].value.fetch_add(1, std::memory_order_relaxed);
+  buckets[bucket_for(value_us)].fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace detail
+
+std::string canonical_metric_name(std::string_view name) {
+  constexpr std::string_view kLegacyLag = "kafka.lag.";
+  if (name.substr(0, kLegacyLag.size()) == kLegacyLag) {
+    return "kafka.consumer.lag." +
+           std::string(name.substr(kLegacyLag.size()));
+  }
+  return std::string(name);
+}
+
+std::string legacy_metric_name(std::string_view name) {
+  constexpr std::string_view kCanonicalLag = "kafka.consumer.lag.";
+  if (name.substr(0, kCanonicalLag.size()) == kCanonicalLag) {
+    return "kafka.lag." + std::string(name.substr(kCanonicalLag.size()));
+  }
+  return {};
+}
 
 std::uint64_t HistogramSummary::percentile_us(double p) const noexcept {
   if (count == 0 || buckets.empty()) return 0;
@@ -57,14 +86,35 @@ std::uint64_t HistogramSummary::percentile_us(double p) const noexcept {
   return detail::bucket_upper_us(buckets.size() - 1);
 }
 
+namespace {
+
+/// Lookup through the rename shim: exact name, then its canonical spelling,
+/// then its legacy spelling — so consumers written against either side of a
+/// rename find the instrument.
+template <typename Map>
+auto shimmed_find(const Map& map, std::string_view name) {
+  auto it = map.find(std::string(name));
+  if (it != map.end()) return it;
+  const std::string canonical = canonical_metric_name(name);
+  if (canonical != name) {
+    it = map.find(canonical);
+    if (it != map.end()) return it;
+  }
+  const std::string legacy = legacy_metric_name(name);
+  if (!legacy.empty()) it = map.find(legacy);
+  return it;
+}
+
+}  // namespace
+
 std::uint64_t MetricsSnapshot::counter(std::string_view name,
                                        std::uint64_t fallback) const {
-  const auto it = counters.find(std::string(name));
+  const auto it = shimmed_find(counters, name);
   return it == counters.end() ? fallback : it->second;
 }
 
 double MetricsSnapshot::gauge(std::string_view name, double fallback) const {
-  const auto it = gauges.find(std::string(name));
+  const auto it = shimmed_find(gauges, name);
   return it == gauges.end() ? fallback : it->second;
 }
 
@@ -105,8 +155,9 @@ std::string MetricsSnapshot::to_json() const {
     out << quote(name) << ":{\"count\":" << summary.count
         << ",\"sum_us\":" << summary.sum_us
         << ",\"mean_us\":" << summary.mean_us()
-        << ",\"p50_us\":" << summary.percentile_us(0.5)
-        << ",\"p99_us\":" << summary.percentile_us(0.99) << "}";
+        << ",\"p50_us\":" << summary.p50_us()
+        << ",\"p99_us\":" << summary.p99_us()
+        << ",\"p999_us\":" << summary.p999_us() << "}";
   }
   out << "}}";
   return out.str();
@@ -146,8 +197,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     HistogramSummary summary;
     summary.buckets.resize(detail::kHistogramBuckets);
     for (std::size_t i = 0; i < detail::kHistogramBuckets; ++i) {
-      summary.buckets[i] = cell->buckets[i].value.load(
-          std::memory_order_relaxed);
+      summary.buckets[i] = cell->buckets[i].load(std::memory_order_relaxed);
     }
     for (const auto& shard : cell->count_shards) {
       summary.count += shard.value.load(std::memory_order_relaxed);
@@ -162,20 +212,22 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 
 void MetricsRegistry::merge(const MetricsSnapshot& snapshot,
                             const std::string& prefix) {
+  // Names canonicalize as they fold in, so a job registry still publishing
+  // a legacy spelling lands under the documented convention.
   for (const auto& [name, value] : snapshot.counters) {
-    counter(prefix + name).add(value);
+    counter(canonical_metric_name(prefix + name)).add(value);
   }
   for (const auto& [name, value] : snapshot.gauges) {
-    gauge(prefix + name).set(value);
+    gauge(canonical_metric_name(prefix + name)).set(value);
   }
   for (const auto& [name, summary] : snapshot.histograms) {
     std::lock_guard lock(mutex_);
-    auto& cell = histograms_[prefix + name];
+    auto& cell = histograms_[canonical_metric_name(prefix + name)];
     if (cell == nullptr) cell = std::make_unique<detail::HistogramCell>();
     for (std::size_t i = 0;
          i < summary.buckets.size() && i < detail::kHistogramBuckets; ++i) {
-      cell->buckets[i].value.fetch_add(summary.buckets[i],
-                                       std::memory_order_relaxed);
+      cell->buckets[i].fetch_add(summary.buckets[i],
+                                 std::memory_order_relaxed);
     }
     cell->count_shards[0].value.fetch_add(summary.count,
                                           std::memory_order_relaxed);

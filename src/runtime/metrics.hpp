@@ -28,7 +28,17 @@ namespace dsps::runtime {
 namespace detail {
 
 inline constexpr std::size_t kCounterShards = 16;  // power of two
-inline constexpr std::size_t kHistogramBuckets = 40;
+
+// HDR-style histogram geometry: each power-of-two magnitude splits into
+// 2^kHdrSubBucketBits linear sub-buckets, so any recorded value lands in a
+// bucket whose width is at most value / 2^kHdrSubBucketBits — percentile
+// queries are exact to ~6% relative error (and exact below 32us, where the
+// buckets are 1us wide). 576 buckets cover values up to 2^39 us (~6.4
+// days), far beyond any scope or batch this repo times.
+inline constexpr std::size_t kHdrSubBucketBits = 4;
+inline constexpr std::size_t kHdrSubBuckets = 1u << kHdrSubBucketBits;
+inline constexpr std::size_t kHistogramBuckets =
+    (39 - kHdrSubBucketBits - 1) * kHdrSubBuckets + 2 * kHdrSubBuckets;
 
 struct alignas(64) PaddedAtomic {
   std::atomic<std::uint64_t> value{0};
@@ -56,13 +66,13 @@ struct GaugeCell {
   std::atomic<double> value{0.0};
 };
 
-/// Power-of-two microsecond buckets: bucket i counts samples whose value
-/// needs i significant bits, i.e. [2^(i-1), 2^i). Count and sum are sharded
-/// like counters (they are touched on every record); bucket counts are one
-/// padded atomic each — histogram samples are per-batch / per-window, not
-/// per-record, so bucket contention is negligible.
+/// HDR-style microsecond buckets (see the geometry constants above). Count
+/// and sum are sharded like counters (they are touched on every record);
+/// bucket counts are plain atomics — histogram samples are per-batch /
+/// per-window or stride-sampled, not per-record, so bucket contention is
+/// negligible and padding 576 buckets would cost 36KB per histogram.
 struct HistogramCell {
-  PaddedAtomic buckets[kHistogramBuckets];
+  std::atomic<std::uint64_t> buckets[kHistogramBuckets];
   PaddedAtomic sum_shards[kCounterShards];
   PaddedAtomic count_shards[kCounterShards];
 
@@ -126,17 +136,38 @@ class TimeHistogram {
 struct HistogramSummary {
   std::uint64_t count = 0;
   std::uint64_t sum_us = 0;
-  std::vector<std::uint64_t> buckets;  // power-of-two microsecond buckets
+  std::vector<std::uint64_t> buckets;  // HDR-style microsecond buckets
 
   double mean_us() const noexcept {
     return count == 0 ? 0.0
                       : static_cast<double>(sum_us) /
                             static_cast<double>(count);
   }
-  /// Upper bound (us) of the bucket containing the p-th percentile sample,
-  /// p in [0, 1]. 0 when empty.
+  /// Upper bound (us) of the HDR bucket containing the p-th percentile
+  /// sample, p in [0, 1] — exact to the sub-bucket resolution (~6%
+  /// relative, exact below 32us). 0 when empty.
   std::uint64_t percentile_us(double p) const noexcept;
+  std::uint64_t p50_us() const noexcept { return percentile_us(0.50); }
+  std::uint64_t p99_us() const noexcept { return percentile_us(0.99); }
+  std::uint64_t p999_us() const noexcept { return percentile_us(0.999); }
 };
+
+/// Canonical metric naming: `engine.component.metric` (engine = flink /
+/// spark / apex / kafka / runtime / yarn; further dots subdivide the metric,
+/// e.g. per-partition or per-subtask instances). Names that predate the
+/// convention are folded to their canonical spelling here — merge() applies
+/// the mapping as snapshots fold into the process registry, and snapshot
+/// lookups fall back through it, so committed baselines and older consumers
+/// written against the legacy names keep intersecting.
+///
+///   kafka.lag.<g>.<t>.<p>      -> kafka.consumer.lag.<g>.<t>.<p>
+///   channel.<l>.depth(.peak)   -> flink job registries only; merged as
+///                                 flink.channel.<l>.* (already canonical)
+std::string canonical_metric_name(std::string_view name);
+
+/// Inverse shim for lookups: the legacy spelling of a canonical name, or
+/// empty when the name never had one.
+std::string legacy_metric_name(std::string_view name);
 
 /// The one cross-engine schema: plain name -> value maps, consumed by the
 /// harness report, the Beam runners, and the perf smoke bench alike.
@@ -153,7 +184,9 @@ struct MetricsSnapshot {
       std::string_view prefix) const;
 
   /// Compact JSON object: {"counters":{...},"gauges":{...},"histograms":
-  /// {"name":{"count":..,"sum_us":..,"p50_us":..,"p99_us":..},..}}.
+  /// {"name":{"count":..,"sum_us":..,"p50_us":..,"p99_us":..,"p999_us":..},
+  /// ..}}. Existing fields are stable; p999_us rides along (additive, so
+  /// older consumers of the schema keep working).
   std::string to_json() const;
 };
 

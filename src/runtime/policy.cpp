@@ -1,0 +1,107 @@
+#include "runtime/policy.hpp"
+
+#include <algorithm>
+
+#include "common/env.hpp"
+
+namespace dsps::runtime {
+
+namespace {
+
+constexpr std::int64_t kMinMultM = 125;   // 1/8x
+constexpr std::int64_t kMaxMultM = 4000;  // 4x
+
+// Control thresholds on the queue_wait share of the observation window.
+constexpr double kStarvedShare = 0.35;  // shrink knobs above this
+constexpr double kBusyShare = 0.05;     // grow knobs below this
+// Ignore windows with less than this much newly attributed time: idle
+// sampler ticks must not walk the multipliers.
+constexpr std::uint64_t kMinWindowUs = 500;
+
+std::int64_t step(std::int64_t mult_m, double queue_share,
+                  double compute_share) {
+  if (queue_share > kStarvedShare) {
+    mult_m = mult_m / 2;
+  } else if (queue_share < kBusyShare && compute_share > 0.5) {
+    mult_m = mult_m * 2;
+  }
+  return std::clamp(mult_m, kMinMultM, kMaxMultM);
+}
+
+std::int64_t apply(std::int64_t configured, std::int64_t mult_m) {
+  const std::int64_t adapted = configured * mult_m / 1000;
+  return std::max<std::int64_t>(adapted, 1);
+}
+
+}  // namespace
+
+PolicyEngine& PolicyEngine::instance() {
+  static PolicyEngine* engine = new PolicyEngine;
+  return *engine;
+}
+
+bool PolicyEngine::adaptive_env() { return env_flag("STREAMSHIM_ADAPTIVE"); }
+
+void PolicyEngine::enable() {
+  if (enabled_.exchange(true, std::memory_order_relaxed)) return;
+  auto& profiler = Profiler::instance();
+  if (!profiler.armed()) profiler.arm();
+  profiler.set_observer(
+      [this](const ProfileSnapshot& snap) { observe(snap); });
+}
+
+void PolicyEngine::disable() {
+  if (!enabled_.exchange(false, std::memory_order_relaxed)) return;
+  Profiler::instance().set_observer({});
+  flink_mult_m_.store(1000, std::memory_order_relaxed);
+  spark_mult_m_.store(1000, std::memory_order_relaxed);
+  std::lock_guard lock(observe_mutex_);
+  has_last_ = false;
+}
+
+std::int64_t PolicyEngine::flink_buffer_timeout_us(
+    std::int64_t configured) const noexcept {
+  if (!enabled()) return configured;
+  return apply(configured, flink_mult_m_.load(std::memory_order_relaxed));
+}
+
+std::int64_t PolicyEngine::spark_batch_interval_ms(
+    std::int64_t configured) const noexcept {
+  if (!enabled()) return configured;
+  return apply(configured, spark_mult_m_.load(std::memory_order_relaxed));
+}
+
+void PolicyEngine::observe(const ProfileSnapshot& snapshot) {
+  if (!enabled()) return;
+  std::lock_guard lock(observe_mutex_);
+  const ProfileSnapshot window =
+      has_last_ ? snapshot.since(last_) : snapshot;
+  last_ = snapshot;
+  has_last_ = true;
+  if (window.attributed_us() < kMinWindowUs) return;
+
+  const double queue_share = window.share(Stage::kQueueWait);
+  const double compute_share = window.share(Stage::kUserFn) +
+                               window.share(Stage::kDecode) +
+                               window.share(Stage::kEncode);
+  flink_mult_m_.store(
+      step(flink_mult_m_.load(std::memory_order_relaxed), queue_share,
+           compute_share),
+      std::memory_order_relaxed);
+  spark_mult_m_.store(
+      step(spark_mult_m_.load(std::memory_order_relaxed), queue_share,
+           compute_share),
+      std::memory_order_relaxed);
+}
+
+double PolicyEngine::flink_multiplier() const noexcept {
+  return static_cast<double>(flink_mult_m_.load(std::memory_order_relaxed)) /
+         1000.0;
+}
+
+double PolicyEngine::spark_multiplier() const noexcept {
+  return static_cast<double>(spark_mult_m_.load(std::memory_order_relaxed)) /
+         1000.0;
+}
+
+}  // namespace dsps::runtime

@@ -1,0 +1,76 @@
+// Adaptive runtime policies driven by live profiler snapshots (§5g).
+//
+// Closes the loop APEX-style: the Profiler's background sampler feeds each
+// live ProfileSnapshot to the PolicyEngine, which adjusts two latency/
+// throughput trade-off knobs by bounded multiplicative steps:
+//
+//   - Flink Router buffer-timeout — how long a partially-filled output
+//     buffer may wait before flushing downstream;
+//   - Spark micro-batch interval — how long the driver sleeps between
+//     batch submissions.
+//
+// The control rule is deliberately simple and monotone: a high queue_wait
+// share means downstream is starving (buffers sit half-full, the driver
+// over-sleeps), so both knobs shrink to push data through sooner; a
+// negligible queue_wait share with compute-dominated stages means batching
+// is cheap, so the knobs grow to amortize per-flush/per-batch overhead.
+// Multipliers are clamped to [1/8, 4] so a misreading can never run away.
+//
+// Off by default (STREAMSHIM_ADAPTIVE opt-in): every default run keeps the
+// paper's fixed 500us buffer timeout and fixed batch interval, so Figs.
+// 11-13 factors stay paper-faithful. When disabled, the knob queries are a
+// single relaxed load returning the configured value unchanged.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "runtime/profiler.hpp"
+
+namespace dsps::runtime {
+
+class PolicyEngine {
+ public:
+  static PolicyEngine& instance();
+
+  /// True when STREAMSHIM_ADAPTIVE is set in the environment.
+  static bool adaptive_env();
+
+  /// Enables the control loop: arms the Profiler if needed (snapshots are
+  /// the sensor) and registers this engine as its observer. Disable
+  /// unregisters and resets the multipliers to 1.
+  void enable();
+  void disable();
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Knob queries, called from engine hot paths: return `configured`
+  /// untouched when disabled, otherwise the adapted value. One relaxed
+  /// atomic load each.
+  std::int64_t flink_buffer_timeout_us(std::int64_t configured) const noexcept;
+  std::int64_t spark_batch_interval_ms(std::int64_t configured) const noexcept;
+
+  /// One control step over the latest live snapshot (sampler-thread hook;
+  /// tests call it directly with synthetic snapshots).
+  void observe(const ProfileSnapshot& snapshot);
+
+  /// Current multipliers (fixed-point /1000), for tests and the report.
+  double flink_multiplier() const noexcept;
+  double spark_multiplier() const noexcept;
+
+ private:
+  PolicyEngine() = default;
+
+  std::atomic<bool> enabled_{false};
+  // Multiplicative adjustments in fixed-point thousandths, clamped to
+  // [kMinMultiplier, kMaxMultiplier].
+  std::atomic<std::int64_t> flink_mult_m_{1000};
+  std::atomic<std::int64_t> spark_mult_m_{1000};
+  std::mutex observe_mutex_;
+  ProfileSnapshot last_;
+  bool has_last_ = false;
+};
+
+}  // namespace dsps::runtime

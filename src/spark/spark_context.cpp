@@ -33,7 +33,13 @@ void SparkContext::run_stage(int tasks, const std::function<void(int)>& body) {
   std::vector<std::future<void>> futures;
   futures.reserve(static_cast<std::size_t>(tasks));
   for (int t = 0; t < tasks; ++t) {
-    futures.push_back(pool_.submit([&body, t] { body(t); }));
+    // Shuffle map tasks go through the same invoker path as result tasks,
+    // under their own attribution site.
+    futures.push_back(pool_.submit([&body, t] {
+      runtime::OperatorInvoker invoker("spark.shuffle");
+      invoker.invoke_unfaulted([&] { body(t); });
+      invoker.close();
+    }));
   }
   for (auto& future : futures) future.get();
   tasks_launched_.fetch_add(static_cast<std::uint64_t>(tasks));

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "runtime/invoker.hpp"
 #include "spark/rdd.hpp"
 
 namespace dsps::spark {
@@ -63,8 +64,13 @@ class SparkContext {
     std::vector<std::future<void>> futures;
     futures.reserve(static_cast<std::size_t>(parts));
     for (int p = 0; p < parts; ++p) {
+      // Each result-stage task runs through the unified invoker path:
+      // pulling the partition iterator drives the whole narrow chain, so
+      // the user_fn stage covers the pipelined operator work of this task.
       futures.push_back(pool_.submit([&rdd, &fn, p] {
-        fn(p, rdd->compute(p));
+        runtime::OperatorInvoker invoker("spark.task");
+        invoker.invoke_unfaulted([&] { fn(p, rdd->compute(p)); });
+        invoker.close();
       }));
     }
     for (auto& future : futures) future.get();

@@ -6,6 +6,8 @@
 #include "common/clock.hpp"
 #include "common/queue.hpp"
 #include "runtime/fault.hpp"
+#include "runtime/invoker.hpp"
+#include "runtime/policy.hpp"
 
 namespace dsps::spark {
 
@@ -28,6 +30,10 @@ class KafkaDirectInputDStream final : public DStreamNode<Payload>,
     if (batch == cached_batch_ && cached_) return cached_;
 
     std::vector<Payload> claimed;
+    // The whole claim loop is broker time: offset range lookups plus the
+    // fetches that pull the batch's records out of the log.
+    runtime::ScopedStage fetch_stage(runtime::Stage::kBrokerRtt,
+                                     runtime::ScopedStage::Mode::kAlways);
     const auto partitions = broker_.partition_count(topic_);
     if (partitions.is_ok()) {
       positions_.resize(static_cast<std::size_t>(partitions.value()), 0);
@@ -193,8 +199,12 @@ class KafkaReceiverInputDStream final : public DStreamNode<Payload>,
             position = positions_[static_cast<std::size_t>(p)];
           }
           fetched.clear();
-          const auto n =
-              broker_.fetch({topic_, p}, position, kBlockRecords, fetched);
+          const auto n = [&] {
+            runtime::ScopedStage fetch_stage(
+                runtime::Stage::kBrokerRtt,
+                runtime::ScopedStage::Mode::kAlways);
+            return broker_.fetch({topic_, p}, position, kBlockRecords, fetched);
+          }();
           if (!n.is_ok() || n.value() == 0) continue;
           std::vector<Payload> block;
           block.reserve(fetched.size());
@@ -288,7 +298,7 @@ void StreamingContext::run_one_batch() {
   // per-batch RDD cache pins the claimed offset range, so each retry
   // reprocesses exactly the records of the failed attempt (at-least-once —
   // output already produced before the failure is produced again).
-  auto& injector = runtime::FaultInjector::instance();
+  runtime::OperatorInvoker invoker("spark.batch");
   runtime::Backoff backoff(retry_backoff_);
   for (int attempt = 0;; ++attempt) {
     try {
@@ -296,7 +306,7 @@ void StreamingContext::run_one_batch() {
       // Strikes after the outputs ran but before the batch is committed —
       // the worst case for at-least-once: the retry replays the cached
       // RDD and re-emits records the failed attempt already produced.
-      injector.maybe_throw(runtime::FaultPoint::kOperatorThrow, "spark.batch");
+      invoker.maybe_fault();
       break;
     } catch (...) {
       if (attempt >= max_batch_retries_) throw;
@@ -345,11 +355,18 @@ Status StreamingContext::start() {
       const Stopwatch watch;
       run_one_batch();
       const auto spent_ms = static_cast<std::int64_t>(watch.elapsed_ms());
-      const std::int64_t wait_ms = batch_interval_ms_ - spent_ms;
+      // The effective interval routes through the policy engine: when the
+      // adaptive mode is on it scales the configured value from live cost
+      // shares; when off (the default) it returns it unchanged.
+      const std::int64_t wait_ms =
+          runtime::PolicyEngine::instance().spark_batch_interval_ms(
+              batch_interval_ms_) -
+          spent_ms;
       if (wait_ms > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
       }
     }
+    runtime::Profiler::instance().flush_this_thread();
   });
   return Status::ok();
 }
@@ -405,12 +422,16 @@ Status StreamingContext::run_bounded() {
     const bool empty_batch = last_batch_input_records_ == 0;
     if (empty_batch && all_inputs_drained()) break;
     const auto spent_ms = static_cast<std::int64_t>(watch.elapsed_ms());
-    const std::int64_t wait_ms = batch_interval_ms_ - spent_ms;
+    const std::int64_t wait_ms =
+        runtime::PolicyEngine::instance().spark_batch_interval_ms(
+            batch_interval_ms_) -
+        spent_ms;
     if (wait_ms > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
     }
   }
   started_ = false;
+  runtime::Profiler::instance().flush_this_thread();
   publish_metrics();
   return Status::ok();
 }
